@@ -1,0 +1,450 @@
+//! Promises and futures with continuations — HPX's `hpx::future` /
+//! `hpx::promise` / `hpx::when_all` in Rust.
+//!
+//! Futures here are *eager* and single-ownership: a producer (task, parcel
+//! handler, kernel completion) fulfils the [`Promise`]; the consumer either
+//! blocks on [`Future::get`] (helping the scheduler if called on a worker
+//! thread, exactly like a suspended hpx-thread frees its worker) or attaches
+//! a continuation with [`Future::then`] to extend the task DAG without
+//! blocking. Panics travel through the DAG: a panicking producer re-raises
+//! at the eventual `get`.
+
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::runtime::{help_one, on_worker};
+
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+enum Outcome<T> {
+    Value(T),
+    Panicked(PanicPayload),
+}
+
+type Continuation<T> = Box<dyn FnOnce(Outcome<T>) + Send + 'static>;
+
+struct State<T> {
+    outcome: Option<Outcome<T>>,
+    continuation: Option<Continuation<T>>,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+/// Producer side of a future pair; see [`pair`].
+pub struct Promise<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer side: a single-ownership eager future.
+pub struct Future<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create a connected promise/future pair (`hpx::promise` +
+/// `promise.get_future()`).
+pub fn pair<T>() -> (Promise<T>, Future<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            outcome: None,
+            continuation: None,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        Promise {
+            inner: Arc::clone(&inner),
+        },
+        Future { inner },
+    )
+}
+
+/// A future that is already complete (`hpx::make_ready_future`).
+pub fn make_ready_future<T>(value: T) -> Future<T> {
+    let (p, f) = pair();
+    p.set_value(value);
+    f
+}
+
+impl<T> Promise<T> {
+    fn complete(&self, outcome: Outcome<T>) {
+        let cont = {
+            let mut st = self.inner.state.lock();
+            assert!(st.outcome.is_none(), "promise already satisfied");
+            match st.continuation.take() {
+                Some(c) => Some((c, outcome)),
+                None => {
+                    st.outcome = Some(outcome);
+                    self.inner.ready.notify_all();
+                    None
+                }
+            }
+        };
+        if let Some((c, outcome)) = cont {
+            c(outcome);
+        }
+    }
+
+    /// Fulfil the promise with a value. Panics if already satisfied.
+    pub fn set_value(&self, value: T) {
+        self.complete(Outcome::Value(value));
+    }
+
+    /// Fulfil the promise with a panic payload; the consumer's `get`
+    /// re-raises it.
+    pub fn set_panic(&self, payload: PanicPayload) {
+        self.complete(Outcome::Panicked(payload));
+    }
+}
+
+impl<T: Send + 'static> Future<T> {
+    /// Register `f` to run exactly once with the outcome (internal basis for
+    /// `then`/`when_all`). Runs inline on the completing thread, or
+    /// immediately if already complete.
+    fn on_complete(self, f: impl FnOnce(Outcome<T>) + Send + 'static) {
+        let mut f = Some(f);
+        let ready = {
+            let mut st = self.inner.state.lock();
+            match st.outcome.take() {
+                Some(o) => Some(o),
+                None => {
+                    assert!(
+                        st.continuation.is_none(),
+                        "future already has a continuation"
+                    );
+                    st.continuation = Some(Box::new(f.take().expect("just set")));
+                    None
+                }
+            }
+        };
+        if let Some(o) = ready {
+            (f.take().expect("not consumed on pending path"))(o);
+        }
+    }
+
+    /// Attach a continuation, producing the future of its result —
+    /// `hpx::future::then`. The continuation runs on whichever thread
+    /// completes this future (HPX's `launch::sync` continuation policy);
+    /// use [`Future::then_on`] to run it as a fresh task instead.
+    pub fn then<U, F>(self, f: F) -> Future<U>
+    where
+        U: Send + 'static,
+        F: FnOnce(T) -> U + Send + 'static,
+    {
+        let (p, fut) = pair();
+        self.on_complete(move |outcome| match outcome {
+            Outcome::Value(v) => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
+                    Ok(u) => p.set_value(u),
+                    Err(e) => p.set_panic(e),
+                }
+            }
+            Outcome::Panicked(e) => p.set_panic(e),
+        });
+        fut
+    }
+
+    /// Attach a continuation that is *spawned* on `handle`'s runtime
+    /// (HPX's `launch::async` continuation policy).
+    pub fn then_on<U, F>(self, handle: &crate::Handle, f: F) -> Future<U>
+    where
+        U: Send + 'static,
+        F: FnOnce(T) -> U + Send + 'static,
+    {
+        let (p, fut) = pair();
+        let h = handle.clone();
+        self.on_complete(move |outcome| match outcome {
+            Outcome::Value(v) => {
+                h.spawn_detached(move || {
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(v))) {
+                        Ok(u) => p.set_value(u),
+                        Err(e) => p.set_panic(e),
+                    }
+                });
+            }
+            Outcome::Panicked(e) => p.set_panic(e),
+        });
+        fut
+    }
+
+    /// Is the result available?
+    pub fn is_ready(&self) -> bool {
+        self.inner.state.lock().outcome.is_some()
+    }
+
+    /// Block until complete and return the value, re-raising producer
+    /// panics. On a worker thread this *helps*: it executes other ready
+    /// tasks while waiting.
+    pub fn get(self) -> T {
+        if on_worker() {
+            loop {
+                {
+                    let mut st = self.inner.state.lock();
+                    if let Some(o) = st.outcome.take() {
+                        return unwrap_outcome(o);
+                    }
+                }
+                if !help_one() {
+                    // Nothing to help with: nap briefly on the future's own
+                    // condvar (re-checked above, so a lost notify only costs
+                    // the timeout).
+                    let mut st = self.inner.state.lock();
+                    if st.outcome.is_none() {
+                        self.inner
+                            .ready
+                            .wait_for(&mut st, Duration::from_micros(200));
+                    }
+                }
+            }
+        } else {
+            let mut st = self.inner.state.lock();
+            while st.outcome.is_none() {
+                self.inner.ready.wait(&mut st);
+            }
+            unwrap_outcome(st.outcome.take().expect("checked above"))
+        }
+    }
+
+    /// Block until complete without consuming the value.
+    pub fn wait(&self) {
+        if on_worker() {
+            while !self.is_ready() {
+                if !help_one() {
+                    let mut st = self.inner.state.lock();
+                    if st.outcome.is_none() {
+                        self.inner
+                            .ready
+                            .wait_for(&mut st, Duration::from_micros(200));
+                    }
+                }
+            }
+        } else {
+            let mut st = self.inner.state.lock();
+            while st.outcome.is_none() {
+                self.inner.ready.wait(&mut st);
+            }
+        }
+    }
+}
+
+fn unwrap_outcome<T>(o: Outcome<T>) -> T {
+    match o {
+        Outcome::Value(v) => v,
+        Outcome::Panicked(e) => std::panic::resume_unwind(e),
+    }
+}
+
+/// Combine a vector of futures into a future of the vector of results, in
+/// input order — `hpx::when_all`. If any input panicked, the first observed
+/// panic is re-raised by the combined future's `get`.
+pub fn when_all<T: Send + 'static>(futures: Vec<Future<T>>) -> Future<Vec<T>> {
+    let n = futures.len();
+    let (p, fut) = pair();
+    if n == 0 {
+        p.set_value(Vec::new());
+        return fut;
+    }
+    struct Join<T> {
+        slots: Mutex<JoinSlots<T>>,
+        promise: Promise<Vec<T>>,
+    }
+    struct JoinSlots<T> {
+        values: Vec<Option<T>>,
+        panic: Option<PanicPayload>,
+        remaining: usize,
+    }
+    let join = Arc::new(Join {
+        slots: Mutex::new(JoinSlots {
+            values: (0..n).map(|_| None).collect(),
+            panic: None,
+            remaining: n,
+        }),
+        promise: p,
+    });
+    for (i, f) in futures.into_iter().enumerate() {
+        let j = Arc::clone(&join);
+        f.on_complete(move |outcome| {
+            let finished = {
+                let mut s = j.slots.lock();
+                match outcome {
+                    Outcome::Value(v) => s.values[i] = Some(v),
+                    Outcome::Panicked(e) => {
+                        if s.panic.is_none() {
+                            s.panic = Some(e);
+                        }
+                    }
+                }
+                s.remaining -= 1;
+                s.remaining == 0
+            };
+            if finished {
+                let mut s = j.slots.lock();
+                if let Some(e) = s.panic.take() {
+                    j.promise.set_panic(e);
+                } else {
+                    let vals = s
+                        .values
+                        .iter_mut()
+                        .map(|v| v.take().expect("slot unfilled at join"))
+                        .collect();
+                    j.promise.set_value(vals);
+                }
+            }
+        });
+    }
+    fut
+}
+
+/// First-completed-wins combinator — `hpx::when_any`. Resolves to
+/// `(index, value)` of the first future to complete; later completions are
+/// dropped. A panic from the *first* completion is propagated.
+pub fn when_any<T: Send + 'static>(futures: Vec<Future<T>>) -> Future<(usize, T)> {
+    assert!(!futures.is_empty(), "when_any of zero futures");
+    let (p, fut) = pair();
+    let winner = Arc::new(Mutex::new(Some(p)));
+    for (i, f) in futures.into_iter().enumerate() {
+        let w = Arc::clone(&winner);
+        f.on_complete(move |outcome| {
+            if let Some(p) = w.lock().take() {
+                match outcome {
+                    Outcome::Value(v) => p.set_value((i, v)),
+                    Outcome::Panicked(e) => p.set_panic(e),
+                }
+            }
+        });
+    }
+    fut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+
+    #[test]
+    fn ready_future_gets_immediately() {
+        assert_eq!(make_ready_future(5).get(), 5);
+    }
+
+    #[test]
+    fn promise_then_get_off_worker() {
+        let (p, f) = pair();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            p.set_value("hello");
+        });
+        assert_eq!(f.get(), "hello");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn then_chains_in_order() {
+        let f = make_ready_future(1).then(|x| x + 1).then(|x| x * 10);
+        assert_eq!(f.get(), 20);
+    }
+
+    #[test]
+    fn then_registered_before_completion() {
+        let (p, f) = pair();
+        let g = f.then(|x: i32| x * 2);
+        p.set_value(21);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn then_on_runs_as_task() {
+        let rt = Runtime::new(2);
+        let before = rt.stats().tasks_spawned;
+        let f = make_ready_future(3).then_on(&rt.handle(), |x| x + 1);
+        assert_eq!(f.get(), 4);
+        assert!(rt.stats().tasks_spawned > before);
+    }
+
+    #[test]
+    fn when_all_preserves_order() {
+        let rt = Runtime::new(4);
+        let futures: Vec<_> = (0..50).map(|i| rt.spawn(move || i * i)).collect();
+        let all = when_all(futures).get();
+        assert_eq!(all, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn when_all_empty_is_ready() {
+        let f: Future<Vec<i32>> = when_all(Vec::new());
+        assert!(f.is_ready());
+        assert!(f.get().is_empty());
+    }
+
+    #[test]
+    fn when_all_propagates_panic() {
+        let rt = Runtime::new(2);
+        let futures = vec![
+            rt.spawn(|| 1),
+            rt.spawn(|| -> i32 { panic!("inner") }),
+            rt.spawn(|| 3),
+        ];
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            when_all(futures).get()
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn when_any_returns_first() {
+        let (p_slow, f_slow) = pair();
+        let f_fast = make_ready_future(9);
+        let (idx, v) = when_any(vec![f_slow, f_fast]).get();
+        assert_eq!((idx, v), (1, 9));
+        p_slow.set_value(1); // late completion is dropped silently
+    }
+
+    #[test]
+    #[should_panic(expected = "when_any of zero futures")]
+    fn when_any_empty_panics() {
+        let _ = when_any(Vec::<Future<i32>>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "promise already satisfied")]
+    fn double_set_panics() {
+        let (p, _f) = pair();
+        p.set_value(1);
+        p.set_value(2);
+    }
+
+    #[test]
+    fn panic_travels_through_then_chain() {
+        let f = make_ready_future(1)
+            .then(|_| -> i32 { panic!("mid-chain") })
+            .then(|x| x + 1);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get()));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn wait_then_is_ready() {
+        let rt = Runtime::new(1);
+        let f = rt.spawn(|| 11);
+        f.wait();
+        assert!(f.is_ready());
+        assert_eq!(f.get(), 11);
+    }
+
+    #[test]
+    fn get_on_worker_helps() {
+        // A chain deeper than the worker count: only possible if blocked
+        // gets execute other tasks.
+        let rt = Runtime::new(1);
+        let h = rt.handle();
+        let f = rt.spawn(move || {
+            let futures: Vec<_> = (0..20).map(|i| h.spawn(move || i)).collect();
+            futures.into_iter().map(|f| f.get()).sum::<i32>()
+        });
+        assert_eq!(f.get(), 190);
+    }
+}

@@ -1,0 +1,50 @@
+//! # amt — an HPX-like Asynchronous Many-Task runtime in Rust
+//!
+//! This crate is the reproduction's stand-in for **HPX**, the C++ standard
+//! library for parallelism and concurrency that the SC'23 paper ports to
+//! RISC-V. It provides the same programming model surface the paper's
+//! benchmarks exercise:
+//!
+//! * **Lightweight tasks** on a work-stealing worker pool
+//!   ([`Runtime`], [`Handle::spawn`]) — HPX's `hpx::async`;
+//! * **Futures with continuations** ([`Future::then`], [`when_all`],
+//!   [`when_any`]) forming user-defined task DAGs;
+//! * **Parallel algorithms** ([`par::for_each`], [`par::transform_reduce`],
+//!   [`par::for_loop`]) with execution policies `seq` / `par` / `par_unseq`
+//!   — HPX's `hpx::for_each(hpx::execution::par, ...)`;
+//! * **Senders & receivers** ([`sr`]) — the P2300 subset used by the paper's
+//!   Maclaurin benchmark;
+//! * **Coroutine-style resumable tasks** ([`coro`]) — Rust has no C++20
+//!   coroutines, so "future + coroutine" is modelled as an explicitly
+//!   resumable state machine whose every suspension is a scheduler round
+//!   trip (the same control structure the C++ benchmark produces);
+//! * **Cooperative synchronization** ([`sync::Mutex`], [`sync::Latch`],
+//!   [`sync::Barrier`], [`sync::Channel`]) — HPX's `hpx::mutex` family that
+//!   yields to the scheduler instead of blocking OS threads;
+//! * **Instrumentation** ([`RuntimeStats`]) counting spawns, steals, parks
+//!   and yields. These counts feed the `rv-machine` cost model so runtime
+//!   overheads can be projected onto the paper's CPUs (RISC-V context
+//!   switches are the expensive case the paper's conclusion discusses).
+//!
+//! Blocking a worker thread is always safe: waits performed on a worker
+//! (`Future::get`, latches, scopes) *help* — they execute other ready tasks
+//! while waiting, exactly like HPX suspending an hpx-thread.
+//!
+//! ```
+//! use amt::Runtime;
+//!
+//! let rt = Runtime::new(4);
+//! let f = rt.handle().spawn(|| 21).then(|x| x * 2);
+//! assert_eq!(f.get(), 42);
+//! ```
+
+mod future;
+mod runtime;
+
+pub mod coro;
+pub mod par;
+pub mod sr;
+pub mod sync;
+
+pub use future::{make_ready_future, pair as future_pair, when_all, when_any, Future, Promise};
+pub use runtime::{Handle, Runtime, RuntimeStats};

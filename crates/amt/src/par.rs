@@ -1,0 +1,523 @@
+//! Parallel algorithms with execution policies — HPX's implementation of the
+//! C++17/20 parallel algorithms (`hpx::for_each(hpx::execution::par, …)`),
+//! which is what the paper's Fig. 4b benchmark measures.
+//!
+//! Algorithms chunk their index range into `chunks_per_thread × threads`
+//! tasks (HPX's default static chunker has the same shape) and run them
+//! under a [`scope`], so closures may borrow from the caller's stack. The
+//! `par_unseq` policy additionally asserts the body is vectorizable; on this
+//! CPU-only substrate it executes like `par` but is tagged for the machine
+//! model, mirroring the paper's observation that the RISC-V boards have no
+//! vector unit for `par_unseq` to use.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::runtime::{help_one, on_worker};
+use crate::Handle;
+
+/// Execution policy selector, mirroring `hpx::execution`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionPolicy {
+    /// Sequential on the calling thread — `hpx::execution::seq`.
+    Seq,
+    /// Parallel tasks — `hpx::execution::par`.
+    Par,
+    /// Parallel + vectorizable — `hpx::execution::par_unseq` (needs C++20 in
+    /// HPX; the paper defers its RISC-V evaluation because the boards have
+    /// no V extension — we run it like `Par` and let the machine model apply
+    /// the vector width, which is 1 on RISC-V).
+    ParUnseq,
+}
+
+impl ExecutionPolicy {
+    /// Whether this policy may execute on multiple tasks.
+    pub fn is_parallel(self) -> bool {
+        !matches!(self, ExecutionPolicy::Seq)
+    }
+
+    /// Whether this policy permits vectorization (used by the projection
+    /// model, not by execution).
+    pub fn is_vectorized(self) -> bool {
+        matches!(self, ExecutionPolicy::ParUnseq)
+    }
+}
+
+/// Default number of chunks for `len` items on `threads` workers: four waves
+/// per worker, never more chunks than items.
+pub fn default_chunks(threads: usize, len: usize) -> usize {
+    (threads * 4).clamp(1, len.max(1))
+}
+
+struct ScopeSync {
+    pending: AtomicUsize,
+    lock: Mutex<()>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// A structured-concurrency scope: tasks spawned on it may borrow anything
+/// that outlives the `scope` call, because `scope` does not return until all
+/// of them finished (helping the scheduler while it waits).
+pub struct Scope<'env> {
+    handle: Handle,
+    sync: Arc<ScopeSync>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Spawn a borrowing task on the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.sync.pending.fetch_add(1, Ordering::SeqCst);
+        let sync = Arc::clone(&self.sync);
+        let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: `scope()` blocks until `pending` returns to zero, so the
+        // closure (and everything it borrows from 'env) outlives the task.
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        self.handle.spawn_detached(move || {
+            if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(boxed)) {
+                let mut p = sync.panic.lock();
+                if p.is_none() {
+                    *p = Some(e);
+                }
+            }
+            if sync.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _g = sync.lock.lock();
+                sync.done.notify_all();
+            }
+        });
+    }
+
+    /// Handle of the underlying runtime.
+    pub fn handle(&self) -> &Handle {
+        &self.handle
+    }
+}
+
+/// Run `f` with a [`Scope`]; returns after every scoped task completed.
+/// The first panic from any scoped task is re-raised here.
+pub fn scope<'env, F, R>(handle: &Handle, f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let sync = Arc::new(ScopeSync {
+        pending: AtomicUsize::new(0),
+        lock: Mutex::new(()),
+        done: Condvar::new(),
+        panic: Mutex::new(None),
+    });
+    let sc = Scope {
+        handle: handle.clone(),
+        sync: Arc::clone(&sync),
+        _env: PhantomData,
+    };
+    let result = f(&sc);
+    // Wait for quiescence, helping if we are a worker. Never busy-spin:
+    // when there is nothing to help with, nap on the scope's condvar (a
+    // spinning waiter would starve the workers on oversubscribed hosts).
+    while sync.pending.load(Ordering::SeqCst) != 0 {
+        if on_worker() && help_one() {
+            continue;
+        }
+        let mut g = sync.lock.lock();
+        if sync.pending.load(Ordering::SeqCst) != 0 {
+            sync.done.wait_for(&mut g, Duration::from_micros(200));
+        }
+    }
+    if let Some(e) = sync.panic.lock().take() {
+        std::panic::resume_unwind(e);
+    }
+    result
+}
+
+/// Split `range` into at most `chunks` contiguous sub-ranges.
+pub fn split_range(range: Range<usize>, chunks: usize) -> Vec<Range<usize>> {
+    let len = range.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunks = chunks.clamp(1, len);
+    let base = len / chunks;
+    let extra = len % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = range.start;
+    for i in 0..chunks {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    debug_assert_eq!(start, range.end);
+    out
+}
+
+/// Index-space parallel loop — `hpx::experimental::for_loop`.
+pub fn for_loop<F>(handle: &Handle, policy: ExecutionPolicy, range: Range<usize>, f: F)
+where
+    F: Fn(usize) + Send + Sync,
+{
+    for_loop_chunked(
+        handle,
+        policy,
+        range.clone(),
+        default_chunks(handle.num_threads(), range.len()),
+        f,
+    );
+}
+
+/// [`for_loop`] with an explicit chunk count — the knob the paper's §3.2
+/// highlights: the Kokkos-HPX execution space lets the user steer how many
+/// tasks a kernel is divided into.
+pub fn for_loop_chunked<F>(
+    handle: &Handle,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    chunks: usize,
+    f: F,
+) where
+    F: Fn(usize) + Send + Sync,
+{
+    if range.is_empty() {
+        return;
+    }
+    if !policy.is_parallel() || handle.num_threads() == 1 && chunks <= 1 {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let f = &f;
+    scope(handle, |sc| {
+        for sub in split_range(range, chunks) {
+            sc.spawn(move || {
+                for i in sub {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Parallel `for_each` over a shared slice — `hpx::for_each`.
+pub fn for_each<T, F>(handle: &Handle, policy: ExecutionPolicy, items: &[T], f: F)
+where
+    T: Sync,
+    F: Fn(&T) + Send + Sync,
+{
+    let f = &f;
+    for_loop(handle, policy, 0..items.len(), move |i| f(&items[i]));
+}
+
+/// Parallel mutation of a slice (disjoint chunks) — `hpx::for_each` on a
+/// mutable range.
+pub fn for_each_mut<T, F>(handle: &Handle, policy: ExecutionPolicy, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Send + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    if !policy.is_parallel() {
+        for it in items.iter_mut() {
+            f(it);
+        }
+        return;
+    }
+    let chunks = default_chunks(handle.num_threads(), items.len());
+    let chunk_size = items.len().div_ceil(chunks);
+    let f = &f;
+    scope(handle, |sc| {
+        for chunk in items.chunks_mut(chunk_size) {
+            sc.spawn(move || {
+                for it in chunk {
+                    f(it);
+                }
+            });
+        }
+    });
+}
+
+/// Map-reduce over an index space — `hpx::transform_reduce`. The reduction
+/// operator must be associative; partial results are combined in chunk order
+/// so the result is deterministic for a fixed chunk count.
+pub fn transform_reduce<R, M, B>(
+    handle: &Handle,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    identity: R,
+    map: M,
+    reduce: B,
+) -> R
+where
+    R: Send + Clone,
+    M: Fn(usize) -> R + Send + Sync,
+    B: Fn(R, R) -> R + Send + Sync,
+{
+    transform_reduce_chunked(
+        handle,
+        policy,
+        range.clone(),
+        default_chunks(handle.num_threads(), range.len()),
+        identity,
+        map,
+        reduce,
+    )
+}
+
+/// [`transform_reduce`] with an explicit chunk count.
+pub fn transform_reduce_chunked<R, M, B>(
+    handle: &Handle,
+    policy: ExecutionPolicy,
+    range: Range<usize>,
+    chunks: usize,
+    identity: R,
+    map: M,
+    reduce: B,
+) -> R
+where
+    R: Send + Clone,
+    M: Fn(usize) -> R + Send + Sync,
+    B: Fn(R, R) -> R + Send + Sync,
+{
+    if range.is_empty() {
+        return identity;
+    }
+    if !policy.is_parallel() {
+        let mut acc = identity;
+        for i in range {
+            acc = reduce(acc, map(i));
+        }
+        return acc;
+    }
+    let subranges = split_range(range, chunks);
+    let mut partials: Vec<Option<R>> = vec![None; subranges.len()];
+    {
+        let map = &map;
+        let reduce = &reduce;
+        let ids: Vec<R> = vec![identity.clone(); subranges.len()];
+        scope(handle, |sc| {
+            for ((slot, sub), id) in partials.iter_mut().zip(subranges).zip(ids) {
+                sc.spawn(move || {
+                    let mut acc = id;
+                    for i in sub {
+                        acc = reduce(acc, map(i));
+                    }
+                    *slot = Some(acc);
+                });
+            }
+        });
+    }
+    let mut acc = identity;
+    for p in partials {
+        acc = reduce(acc, p.expect("scope guarantees completion"));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_range_covers_exactly() {
+        let parts = split_range(3..103, 7);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.first().unwrap().start, 3);
+        assert_eq!(parts.last().unwrap().end, 103);
+        let total: usize = parts.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 100);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn split_range_more_chunks_than_items() {
+        let parts = split_range(0..3, 10);
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn split_empty_range() {
+        assert!(split_range(5..5, 4).is_empty());
+    }
+
+    #[test]
+    fn for_loop_visits_every_index_once() {
+        let rt = Runtime::new(4);
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        for_loop(&rt.handle(), ExecutionPolicy::Par, 0..1000, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn for_loop_seq_matches_par() {
+        let rt = Runtime::new(4);
+        let seq = AtomicU64::new(0);
+        let par = AtomicU64::new(0);
+        for_loop(&rt.handle(), ExecutionPolicy::Seq, 0..100, |i| {
+            seq.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        for_loop(&rt.handle(), ExecutionPolicy::Par, 0..100, |i| {
+            par.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(seq.load(Ordering::Relaxed), par.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn for_each_borrows_stack_data() {
+        let rt = Runtime::new(3);
+        let data: Vec<u64> = (0..500).collect();
+        let sum = AtomicU64::new(0);
+        for_each(&rt.handle(), ExecutionPolicy::Par, &data, |&x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 499 * 500 / 2);
+    }
+
+    #[test]
+    fn for_each_mut_updates_in_place() {
+        let rt = Runtime::new(4);
+        let mut data: Vec<u64> = (0..333).collect();
+        for_each_mut(&rt.handle(), ExecutionPolicy::Par, &mut data, |x| *x *= 2);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn for_each_mut_seq_policy() {
+        let rt = Runtime::new(2);
+        let mut data = vec![1u64; 10];
+        for_each_mut(&rt.handle(), ExecutionPolicy::Seq, &mut data, |x| *x += 1);
+        assert_eq!(data, vec![2u64; 10]);
+    }
+
+    #[test]
+    fn transform_reduce_sums() {
+        let rt = Runtime::new(4);
+        let s = transform_reduce(
+            &rt.handle(),
+            ExecutionPolicy::Par,
+            0..10_001,
+            0u64,
+            |i| i as u64,
+            |a, b| a + b,
+        );
+        assert_eq!(s, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn transform_reduce_deterministic_float_order() {
+        // Fixed chunk count ⇒ bitwise-identical result run to run.
+        let rt = Runtime::new(4);
+        let run = || {
+            transform_reduce_chunked(
+                &rt.handle(),
+                ExecutionPolicy::Par,
+                1..100_000,
+                16,
+                0.0f64,
+                |i| 1.0 / i as f64,
+                |a, b| a + b,
+            )
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn transform_reduce_empty_range_gives_identity() {
+        let rt = Runtime::new(2);
+        let s = transform_reduce(
+            &rt.handle(),
+            ExecutionPolicy::Par,
+            10..10,
+            42i64,
+            |i| i as i64,
+            |a, b| a + b,
+        );
+        assert_eq!(s, 42);
+    }
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let rt = Runtime::new(4);
+        let counter = AtomicU64::new(0);
+        scope(&rt.handle(), |sc| {
+            for _ in 0..64 {
+                sc.spawn(|| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn scope_propagates_panic() {
+        let rt = Runtime::new(2);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(&rt.handle(), |sc| {
+                sc.spawn(|| panic!("scoped boom"));
+            });
+        }));
+        assert!(res.is_err());
+        // Runtime still usable.
+        assert_eq!(rt.spawn(|| 1).get(), 1);
+    }
+
+    #[test]
+    fn nested_scopes_from_worker() {
+        let rt = Runtime::new(2);
+        let h = rt.handle();
+        let total = rt
+            .spawn(move || {
+                let counter = AtomicU64::new(0);
+                scope(&h, |outer| {
+                    for _ in 0..4 {
+                        let h2 = outer.handle().clone();
+                        let c = &counter;
+                        outer.spawn(move || {
+                            scope(&h2, |inner| {
+                                for _ in 0..8 {
+                                    inner.spawn(|| {
+                                        c.fetch_add(1, Ordering::Relaxed);
+                                    });
+                                }
+                            });
+                        });
+                    }
+                });
+                counter.load(Ordering::Relaxed)
+            })
+            .get();
+        assert_eq!(total, 32);
+    }
+
+    #[test]
+    fn policy_predicates() {
+        assert!(!ExecutionPolicy::Seq.is_parallel());
+        assert!(ExecutionPolicy::Par.is_parallel());
+        assert!(ExecutionPolicy::ParUnseq.is_vectorized());
+        assert!(!ExecutionPolicy::Par.is_vectorized());
+    }
+
+    #[test]
+    fn default_chunks_bounds() {
+        assert_eq!(default_chunks(4, 0), 1);
+        assert_eq!(default_chunks(4, 3), 3);
+        assert_eq!(default_chunks(4, 1000), 16);
+    }
+}

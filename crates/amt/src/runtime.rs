@@ -1,0 +1,539 @@
+//! Work-stealing task scheduler — the heart of the HPX-like runtime.
+//!
+//! One OS thread per configured core, each with a LIFO deque
+//! (`crossbeam_deque`), a global FIFO injector for external submissions, and
+//! randomized-order stealing. Idle workers park on a condvar with a short
+//! timeout (re-checking queues to avoid lost-wakeup hazards).
+//!
+//! Every scheduler event (spawn, execution, steal, park, yield) is counted;
+//! [`RuntimeStats`] snapshots feed the `rv-machine` cost model, which charges
+//! per-event cycle costs that differ between the paper's architectures —
+//! RISC-V context switches being the expensive case its conclusion discusses.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::future::{pair, Future};
+
+pub(crate) type Task = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Stats {
+    spawned: AtomicU64,
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    parked: AtomicU64,
+    yields: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// Snapshot of scheduler event counts since construction (or the last
+/// [`Runtime::reset_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Tasks submitted to the scheduler.
+    pub tasks_spawned: u64,
+    /// Tasks executed to completion (each implies one context switch).
+    pub tasks_executed: u64,
+    /// Successful steals from another worker's deque.
+    pub steals: u64,
+    /// Times a worker went to sleep for lack of work.
+    pub parks: u64,
+    /// Cooperative yields (a waiting worker executing someone else's task).
+    pub yields: u64,
+    /// Tasks that panicked (caught; the owning future re-raises).
+    pub panics: u64,
+}
+
+pub(crate) struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    shutdown: AtomicBool,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    sleepers: AtomicU64,
+    stats: Stats,
+    threads: usize,
+}
+
+struct WorkerCtx {
+    shared: Arc<Shared>,
+    index: usize,
+    deque: Deque<Task>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+impl Shared {
+    fn wake_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _g = self.sleep_lock.lock();
+            self.wake.notify_one();
+        }
+    }
+
+    fn wake_all(&self) {
+        let _g = self.sleep_lock.lock();
+        self.wake.notify_all();
+    }
+
+    /// Pop or steal one task, from the perspective of worker `index`
+    /// (local deque → injector → other workers' deques).
+    fn find_task(&self, local: &Deque<Task>, index: usize) -> Option<Task> {
+        if let Some(t) = local.pop() {
+            return Some(t);
+        }
+        loop {
+            match self.injector.steal_batch_and_pop(local) {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        // Steal round: start from a pseudo-random neighbour to avoid
+        // convoying on worker 0.
+        let n = self.stealers.len();
+        if n > 1 {
+            let start = (index * 7 + 3) % n;
+            for k in 0..n {
+                let victim = (start + k) % n;
+                if victim == index {
+                    continue;
+                }
+                loop {
+                    match self.stealers[victim].steal() {
+                        Steal::Success(t) => {
+                            self.stats.stolen.fetch_add(1, Ordering::Relaxed);
+                            return Some(t);
+                        }
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn run_task(&self, task: Task) {
+        self.stats.executed.fetch_add(1, Ordering::Relaxed);
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+            // Futures carry their own panic payloads; a detached task that
+            // panics is counted and otherwise dropped, keeping workers alive.
+            self.stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            tasks_spawned: self.stats.spawned.load(Ordering::Relaxed),
+            tasks_executed: self.stats.executed.load(Ordering::Relaxed),
+            steals: self.stats.stolen.load(Ordering::Relaxed),
+            parks: self.stats.parked.load(Ordering::Relaxed),
+            yields: self.stats.yields.load(Ordering::Relaxed),
+            panics: self.stats.panics.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for c in [
+            &self.stats.spawned,
+            &self.stats.executed,
+            &self.stats.stolen,
+            &self.stats.parked,
+            &self.stats.yields,
+            &self.stats.panics,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<Task>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(WorkerCtx {
+            shared: Arc::clone(&shared),
+            index,
+            deque,
+        })
+    });
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let task = CTX.with(|c| {
+            let borrow = c.borrow();
+            let ctx = borrow.as_ref().expect("worker context missing");
+            ctx.shared.find_task(&ctx.deque, ctx.index)
+        });
+        match task {
+            Some(t) => shared.run_task(t),
+            None => {
+                shared.stats.parked.fetch_add(1, Ordering::Relaxed);
+                shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                {
+                    let mut g = shared.sleep_lock.lock();
+                    // Re-check under the lock: a producer may have pushed and
+                    // notified between our failed search and this point.
+                    if shared.injector.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+                        shared
+                            .wake
+                            .wait_for(&mut g, Duration::from_micros(500));
+                    }
+                }
+                shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// True when the calling thread is a worker of *any* [`Runtime`].
+pub(crate) fn on_worker() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// If on a worker thread, pop/steal and execute one ready task.
+/// Returns `true` if a task was executed. This is how blocking operations
+/// *help* instead of stalling a core (HPX: suspending the hpx-thread lets
+/// the worker pick up other work).
+pub(crate) fn help_one() -> bool {
+    let task = CTX.with(|c| {
+        let borrow = c.borrow();
+        borrow
+            .as_ref()
+            .and_then(|ctx| ctx.shared.find_task(&ctx.deque, ctx.index))
+    });
+    match task {
+        Some(t) => {
+            let shared = CTX.with(|c| {
+                c.borrow()
+                    .as_ref()
+                    .map(|ctx| Arc::clone(&ctx.shared))
+                    .expect("worker context missing")
+            });
+            shared.stats.yields.fetch_add(1, Ordering::Relaxed);
+            shared.run_task(t);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Cloneable, `Send` handle for submitting work to a [`Runtime`].
+///
+/// The handle stays valid after the runtime shuts down; tasks submitted then
+/// run inline on the submitting thread (documented degraded mode, mirroring
+/// HPX executing on the calling thread after `hpx::finalize`).
+#[derive(Clone)]
+pub struct Handle {
+    shared: Arc<Shared>,
+}
+
+impl Handle {
+    /// Spawn `f` as a task, returning a [`Future`] for its result —
+    /// `hpx::async`.
+    pub fn spawn<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (promise, future) = pair();
+        self.spawn_detached(move || {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+                Ok(v) => promise.set_value(v),
+                Err(e) => promise.set_panic(e),
+            }
+        });
+        future
+    }
+
+    /// Spawn a fire-and-forget task — `hpx::post`.
+    pub fn spawn_detached<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            self.shared.stats.spawned.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+            f();
+            return;
+        }
+        push_task(&self.shared, Box::new(f));
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Snapshot of the scheduler event counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.snapshot()
+    }
+}
+
+fn push_task(shared: &Arc<Shared>, task: Task) {
+    shared.stats.spawned.fetch_add(1, Ordering::Relaxed);
+    let leftover = CTX.with(|c| {
+        let borrow = c.borrow();
+        match borrow.as_ref() {
+            Some(ctx) if Arc::ptr_eq(&ctx.shared, shared) => {
+                ctx.deque.push(task);
+                None
+            }
+            _ => Some(task),
+        }
+    });
+    if let Some(t) = leftover {
+        shared.injector.push(t);
+    }
+    shared.wake_one();
+}
+
+/// The HPX-like runtime: a pool of worker threads executing lightweight
+/// tasks with work stealing. Dropping the runtime shuts the pool down
+/// (pending queued tasks are abandoned — call [`Runtime::wait_idle`] or hold
+/// futures if you need completion).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    joins: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Start a runtime with `threads` workers (≥1, like `--hpx:threads=N`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one worker thread");
+        let deques: Vec<Deque<Task>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            sleepers: AtomicU64::new(0),
+            stats: Stats::default(),
+            threads,
+        });
+        let joins = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("amt-worker-{i}"))
+                    .spawn(move || worker_main(s, i, d))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Runtime { shared, joins }
+    }
+
+    /// Run `f` against a fresh runtime of `threads` workers, then tear it
+    /// down — the shape every experiment uses for its core sweep.
+    pub fn with<R>(threads: usize, f: impl FnOnce(&Runtime) -> R) -> R {
+        let rt = Runtime::new(threads);
+        f(&rt)
+    }
+
+    /// Submission handle (cloneable, `Send`).
+    pub fn handle(&self) -> Handle {
+        Handle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Snapshot of the scheduler event counters.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shared.snapshot()
+    }
+
+    /// Zero the event counters (between experiment repetitions).
+    pub fn reset_stats(&self) {
+        self.shared.reset();
+    }
+
+    /// Spawn directly from the runtime (convenience over `handle().spawn`).
+    pub fn spawn<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.handle().spawn(f)
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_all();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("threads", &self.shared.threads)
+            .field("stats", &self.shared.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn spawn_and_get() {
+        let rt = Runtime::new(2);
+        let f = rt.spawn(|| 7 * 6);
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn many_tasks_all_execute() {
+        let rt = Runtime::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let futures: Vec<_> = (0..1000)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                rt.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for f in futures {
+            f.get();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let rt = Runtime::new(2);
+        let h = rt.handle();
+        let f = rt.spawn(move || {
+            let inner = h.spawn(|| 10);
+            inner.get() + 1
+        });
+        assert_eq!(f.get(), 11);
+    }
+
+    #[test]
+    fn deeply_nested_spawns_do_not_deadlock_on_one_thread() {
+        // A single worker must be able to complete a chain of blocking
+        // nested spawns by helping.
+        let rt = Runtime::new(1);
+        fn nest(h: Handle, depth: usize) -> usize {
+            if depth == 0 {
+                return 0;
+            }
+            let h2 = h.clone();
+            let f = h.spawn(move || nest(h2, depth - 1) + 1);
+            f.get()
+        }
+        let h = rt.handle();
+        let f = rt.spawn(move || nest(h, 50));
+        assert_eq!(f.get(), 50);
+    }
+
+    #[test]
+    fn stats_count_spawn_and_execute() {
+        let rt = Runtime::new(2);
+        let fs: Vec<_> = (0..100).map(|i| rt.spawn(move || i)).collect();
+        for f in fs {
+            f.get();
+        }
+        let s = rt.stats();
+        assert!(s.tasks_spawned >= 100);
+        assert!(s.tasks_executed >= 100);
+        rt.reset_stats();
+        assert_eq!(rt.stats().tasks_spawned, 0);
+    }
+
+    #[test]
+    fn panicking_task_propagates_through_future() {
+        let rt = Runtime::new(2);
+        let f = rt.spawn(|| -> i32 { panic!("boom") });
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get()));
+        assert!(res.is_err());
+        // Pool survives:
+        assert_eq!(rt.spawn(|| 1).get(), 1);
+    }
+
+    #[test]
+    fn detached_panic_does_not_kill_workers() {
+        let rt = Runtime::new(1);
+        rt.handle().spawn_detached(|| panic!("ignored"));
+        // The single worker must still process new work.
+        assert_eq!(rt.spawn(|| 5).get(), 5);
+        assert!(rt.stats().panics >= 1);
+    }
+
+    #[test]
+    fn handle_survives_runtime_drop() {
+        let rt = Runtime::new(1);
+        let h = rt.handle();
+        drop(rt);
+        // Degraded inline mode.
+        assert_eq!(h.spawn(|| 3).get(), 3);
+    }
+
+    #[test]
+    fn steals_happen_with_imbalanced_load() {
+        let rt = Runtime::new(4);
+        // One producer task spawning many children from its own deque
+        // forces the other three workers to steal.
+        let h = rt.handle();
+        let f = rt.spawn(move || {
+            let kids: Vec<_> = (0..400)
+                .map(|i| {
+                    h.spawn(move || {
+                        // Spin long enough that children overlap and idle
+                        // workers wake up to steal.
+                        let mut x = i as u64;
+                        for _ in 0..200_000 {
+                            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        }
+                        std::hint::black_box(x)
+                    })
+                })
+                .collect();
+            kids.into_iter().map(|k| k.get()).count()
+        });
+        assert_eq!(f.get(), 400);
+        assert!(rt.stats().steals > 0, "expected steals: {:?}", rt.stats());
+    }
+
+    #[test]
+    fn with_tears_down() {
+        let out = Runtime::with(3, |rt| {
+            assert_eq!(rt.num_threads(), 3);
+            rt.spawn(|| 2).get()
+        });
+        assert_eq!(out, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let _ = Runtime::new(0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Senders & receivers — the std::execution (P2300) subset the paper's
+//! Maclaurin benchmark uses (its Fig. 5 compares "sender & receiver" against
+//! "future + coroutine" on RISC-V).
+//!
+//! A [`Sender`] describes asynchronous work; nothing runs until the sender
+//! is [`Sender::start`]ed with a receiver (here: a boxed continuation) or
+//! driven by [`sync_wait`]. Combinators build pipelines:
+//!
+//! ```
+//! use amt::{Runtime, sr};
+//! use amt::sr::Sender;
+//!
+//! let rt = Runtime::new(2);
+//! let sum = sr::sync_wait(
+//!     sr::schedule(&rt.handle())
+//!         .then(|_| 40)
+//!         .then(|x| x + 2),
+//! );
+//! assert_eq!(sum, 42);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::future::pair;
+use crate::Handle;
+
+/// A description of asynchronous work completing with `Output`.
+pub trait Sender: Sized + Send + 'static {
+    /// The value this sender completes with.
+    type Output: Send + 'static;
+
+    /// Start the work; `receiver` is invoked exactly once with the value
+    /// (P2300 `set_value`).
+    fn start(self, receiver: Box<dyn FnOnce(Self::Output) + Send + 'static>);
+
+    /// The scheduler this sender completes on, if any (used by [`Bulk`] to
+    /// place its iterations).
+    fn scheduler(&self) -> Option<Handle> {
+        None
+    }
+
+    /// Transform the completion value — `std::execution::then`.
+    fn then<F, U>(self, f: F) -> Then<Self, F>
+    where
+        F: FnOnce(Self::Output) -> U + Send + 'static,
+        U: Send + 'static,
+    {
+        Then { upstream: self, f }
+    }
+
+    /// Run `f(i)` for `i in 0..shape` on the completion scheduler, then pass
+    /// the upstream value through — `std::execution::bulk`.
+    fn bulk<F>(self, shape: usize, f: F) -> Bulk<Self, F>
+    where
+        F: Fn(usize) + Send + Sync + 'static,
+    {
+        Bulk {
+            upstream: self,
+            shape,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Continue on `handle`'s runtime — `std::execution::transfer`.
+    fn transfer(self, handle: &Handle) -> Transfer<Self> {
+        Transfer {
+            upstream: self,
+            handle: handle.clone(),
+        }
+    }
+}
+
+/// Sender of an immediate value — `std::execution::just`.
+pub struct Just<T>(T);
+
+/// Create a [`Just`] sender.
+pub fn just<T: Send + 'static>(value: T) -> Just<T> {
+    Just(value)
+}
+
+impl<T: Send + 'static> Sender for Just<T> {
+    type Output = T;
+    fn start(self, receiver: Box<dyn FnOnce(T) + Send + 'static>) {
+        receiver(self.0);
+    }
+}
+
+/// Sender completing with `()` on a runtime task —
+/// `std::execution::schedule(scheduler)`.
+pub struct Schedule {
+    handle: Handle,
+}
+
+/// Create a [`Schedule`] sender for `handle`'s runtime.
+pub fn schedule(handle: &Handle) -> Schedule {
+    Schedule {
+        handle: handle.clone(),
+    }
+}
+
+impl Sender for Schedule {
+    type Output = ();
+    fn start(self, receiver: Box<dyn FnOnce(()) + Send + 'static>) {
+        self.handle.spawn_detached(move || receiver(()));
+    }
+    fn scheduler(&self) -> Option<Handle> {
+        Some(self.handle.clone())
+    }
+}
+
+/// Sender adaptor mapping the value; see [`Sender::then`].
+pub struct Then<S, F> {
+    upstream: S,
+    f: F,
+}
+
+impl<S, F, U> Sender for Then<S, F>
+where
+    S: Sender,
+    F: FnOnce(S::Output) -> U + Send + 'static,
+    U: Send + 'static,
+{
+    type Output = U;
+    fn start(self, receiver: Box<dyn FnOnce(U) + Send + 'static>) {
+        let f = self.f;
+        self.upstream.start(Box::new(move |v| receiver(f(v))));
+    }
+    fn scheduler(&self) -> Option<Handle> {
+        self.upstream.scheduler()
+    }
+}
+
+/// Sender adaptor running a parallel iteration space; see [`Sender::bulk`].
+pub struct Bulk<S, F> {
+    upstream: S,
+    shape: usize,
+    f: Arc<F>,
+}
+
+impl<S, F> Sender for Bulk<S, F>
+where
+    S: Sender,
+    F: Fn(usize) + Send + Sync + 'static,
+{
+    type Output = S::Output;
+    fn start(self, receiver: Box<dyn FnOnce(S::Output) + Send + 'static>) {
+        let shape = self.shape;
+        let f = self.f;
+        let sched = self.upstream.scheduler();
+        self.upstream.start(Box::new(move |value| {
+            if shape == 0 {
+                receiver(value);
+                return;
+            }
+            match sched {
+                Some(h) => {
+                    let remaining = Arc::new(AtomicUsize::new(shape));
+                    let fin: Arc<Mutex<Option<(S::Output, Box<dyn FnOnce(S::Output) + Send>)>>> =
+                        Arc::new(Mutex::new(Some((value, receiver))));
+                    for i in 0..shape {
+                        let f = Arc::clone(&f);
+                        let remaining = Arc::clone(&remaining);
+                        let fin = Arc::clone(&fin);
+                        h.spawn_detached(move || {
+                            f(i);
+                            if remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                if let Some((v, r)) = fin.lock().take() {
+                                    r(v);
+                                }
+                            }
+                        });
+                    }
+                }
+                None => {
+                    // No completion scheduler: run the shape inline, as a
+                    // serial bulk (P2300's default for inline schedulers).
+                    for i in 0..shape {
+                        f(i);
+                    }
+                    receiver(value);
+                }
+            }
+        }));
+    }
+    fn scheduler(&self) -> Option<Handle> {
+        self.upstream.scheduler()
+    }
+}
+
+/// Sender adaptor moving the continuation onto another runtime; see
+/// [`Sender::transfer`].
+pub struct Transfer<S> {
+    upstream: S,
+    handle: Handle,
+}
+
+impl<S: Sender> Sender for Transfer<S> {
+    type Output = S::Output;
+    fn start(self, receiver: Box<dyn FnOnce(S::Output) + Send + 'static>) {
+        let h = self.handle;
+        self.upstream.start(Box::new(move |v| {
+            h.spawn_detached(move || receiver(v));
+        }));
+    }
+    fn scheduler(&self) -> Option<Handle> {
+        Some(self.handle.clone())
+    }
+}
+
+/// Drive a sender to completion and return its value —
+/// `std::this_thread::sync_wait`.
+pub fn sync_wait<S: Sender>(sender: S) -> S::Output {
+    let (promise, future) = pair();
+    sender.start(Box::new(move |v| promise.set_value(v)));
+    future.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Runtime;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn just_sync_wait() {
+        assert_eq!(sync_wait(just(5)), 5);
+    }
+
+    #[test]
+    fn then_chain() {
+        assert_eq!(sync_wait(just(2).then(|x| x + 1).then(|x| x * 3)), 9);
+    }
+
+    #[test]
+    fn schedule_runs_on_runtime() {
+        let rt = Runtime::new(2);
+        let before = rt.stats().tasks_spawned;
+        let v = sync_wait(schedule(&rt.handle()).then(|_| 7));
+        assert_eq!(v, 7);
+        assert!(rt.stats().tasks_spawned > before);
+    }
+
+    #[test]
+    fn bulk_runs_every_index() {
+        let rt = Runtime::new(4);
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = Arc::clone(&hits);
+        let out = sync_wait(
+            schedule(&rt.handle())
+                .bulk(100, move |_i| {
+                    h2.fetch_add(1, Ordering::Relaxed);
+                })
+                .then(|_| "done"),
+        );
+        assert_eq!(out, "done");
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn bulk_zero_shape_passes_through() {
+        let rt = Runtime::new(1);
+        let v = sync_wait(schedule(&rt.handle()).then(|_| 3).bulk(0, |_| {}));
+        assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn bulk_without_scheduler_runs_inline() {
+        let hits = Arc::new(AtomicU64::new(0));
+        let h2 = Arc::clone(&hits);
+        let v = sync_wait(just(1).bulk(10, move |_| {
+            h2.fetch_add(1, Ordering::Relaxed);
+        }));
+        assert_eq!(v, 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn transfer_moves_to_runtime() {
+        let rt = Runtime::new(2);
+        let before = rt.stats().tasks_spawned;
+        let v = sync_wait(just(10).transfer(&rt.handle()).then(|x| x * 2));
+        assert_eq!(v, 20);
+        assert!(rt.stats().tasks_spawned > before);
+    }
+
+    #[test]
+    fn maclaurin_shaped_pipeline() {
+        // The Fig. 5 benchmark shape: schedule → bulk(partial sums) → then(collect).
+        let rt = Runtime::new(4);
+        let n = 10_000usize;
+        let chunks = 16usize;
+        let partials: Arc<Vec<Mutex<f64>>> = Arc::new((0..chunks).map(|_| Mutex::new(0.0)).collect());
+        let p2 = Arc::clone(&partials);
+        let total = sync_wait(
+            schedule(&rt.handle())
+                .bulk(chunks, move |c| {
+                    let lo = c * n / chunks + 1;
+                    let hi = (c + 1) * n / chunks;
+                    let mut s = 0.0;
+                    for k in lo..=hi {
+                        s += 1.0 / k as f64;
+                    }
+                    *p2[c].lock() = s;
+                })
+                .then(move |_| partials.iter().map(|m| *m.lock()).sum::<f64>()),
+        );
+        let direct: f64 = (1..=n).map(|k| 1.0 / k as f64).sum();
+        assert!((total - direct).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,403 @@
+//! Cooperative synchronization primitives — HPX's `hpx::mutex`,
+//! `hpx::latch`, `hpx::barrier` and `hpx::lcos::channel`.
+//!
+//! The paper (§3.1) explains why these matter for an AMT: "the advantage to
+//! the HPX mutex is that the runtime can switch it out instead of simply
+//! blocking, allowing worker threads to continue working". Our primitives do
+//! the same — a wait performed on a worker thread first spins briefly, then
+//! *helps* by executing other ready tasks, and only naps as a last resort.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex as PlMutex, MutexGuard as PlGuard};
+
+use crate::future::{make_ready_future, pair, Future, Promise};
+use crate::runtime::{help_one, on_worker};
+
+const SPINS_BEFORE_HELP: u32 = 64;
+
+/// Spin/help/nap once; shared backoff step for all waiters.
+fn backoff_step(spins: &mut u32) {
+    if *spins < SPINS_BEFORE_HELP {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else if on_worker() {
+        if !help_one() {
+            std::thread::yield_now();
+        }
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A mutex that cooperates with the scheduler: a contended `lock` on a
+/// worker thread executes other tasks instead of blocking the worker —
+/// `hpx::mutex`.
+pub struct Mutex<T> {
+    inner: PlMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// New mutex owning `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: PlMutex::new(value),
+        }
+    }
+
+    /// Acquire, helping the scheduler while contended.
+    pub fn lock(&self) -> PlGuard<'_, T> {
+        let mut spins = 0;
+        loop {
+            if let Some(g) = self.inner.try_lock() {
+                return g;
+            }
+            backoff_step(&mut spins);
+        }
+    }
+
+    /// Non-blocking acquire.
+    pub fn try_lock(&self) -> Option<PlGuard<'_, T>> {
+        self.inner.try_lock()
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// Single-use countdown latch — `hpx::latch`.
+pub struct Latch {
+    remaining: AtomicU64,
+    lock: PlMutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    /// Latch that opens after `count` calls to [`Latch::count_down`].
+    pub fn new(count: u64) -> Self {
+        Latch {
+            remaining: AtomicU64::new(count),
+            lock: PlMutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Decrement; opens the latch at zero. Panics on underflow.
+    pub fn count_down(&self) {
+        let prev = self.remaining.fetch_sub(1, Ordering::SeqCst);
+        assert!(prev > 0, "latch counted below zero");
+        if prev == 1 {
+            let _g = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Is the latch open?
+    pub fn is_ready(&self) -> bool {
+        self.remaining.load(Ordering::SeqCst) == 0
+    }
+
+    /// Wait (helping on workers) until the latch opens.
+    pub fn wait(&self) {
+        let mut spins = 0;
+        while !self.is_ready() {
+            if on_worker() {
+                backoff_step(&mut spins);
+            } else {
+                let mut g = self.lock.lock();
+                if !self.is_ready() {
+                    self.cv.wait_for(&mut g, Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// [`Latch::count_down`] then [`Latch::wait`].
+    pub fn arrive_and_wait(&self) {
+        self.count_down();
+        self.wait();
+    }
+}
+
+/// Reusable cyclic barrier for a fixed number of participants —
+/// `hpx::barrier`.
+pub struct Barrier {
+    participants: u64,
+    state: PlMutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: u64,
+    generation: u64,
+}
+
+impl Barrier {
+    /// Barrier for `participants` tasks/threads.
+    pub fn new(participants: u64) -> Self {
+        assert!(participants > 0, "barrier needs at least one participant");
+        Barrier {
+            participants,
+            state: PlMutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arrive and wait for the rest of the generation. Returns `true` for
+    /// exactly one participant per generation (the "leader").
+    ///
+    /// Note: unlike [`Latch::wait`] this does **not** help-execute tasks
+    /// while blocked — a helped task might arrive at the same barrier and
+    /// corrupt the generation accounting. Use one participant per OS worker.
+    pub fn wait(&self) -> bool {
+        let mut st = self.state.lock();
+        let gen = st.generation;
+        st.arrived += 1;
+        if st.arrived == self.participants {
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            true
+        } else {
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            false
+        }
+    }
+}
+
+/// Unbounded MPMC channel whose receive side is future-based —
+/// `hpx::lcos::channel`, the primitive Octo-Tiger uses for ghost-zone
+/// exchange between tree nodes.
+pub struct Channel<T> {
+    state: PlMutex<ChanState<T>>,
+}
+
+struct ChanState<T> {
+    values: VecDeque<T>,
+    waiters: VecDeque<Promise<T>>,
+}
+
+impl<T: Send + 'static> Channel<T> {
+    /// New empty channel.
+    pub fn new() -> Self {
+        Channel {
+            state: PlMutex::new(ChanState {
+                values: VecDeque::new(),
+                waiters: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Send a value; wakes the oldest pending receiver if any.
+    pub fn send(&self, value: T) {
+        let waiter = {
+            let mut st = self.state.lock();
+            match st.waiters.pop_front() {
+                Some(w) => Some(w),
+                None => {
+                    st.values.push_back(value);
+                    return;
+                }
+            }
+        };
+        // Complete outside the lock: the waiter's continuation may run
+        // arbitrary user code.
+        waiter.expect("checked above").set_value(value);
+    }
+
+    /// Receive as a future: ready immediately if a value is queued,
+    /// otherwise completed by a future `send`.
+    pub fn recv(&self) -> Future<T> {
+        let mut st = self.state.lock();
+        if let Some(v) = st.values.pop_front() {
+            return make_ready_future(v);
+        }
+        let (p, f) = pair();
+        st.waiters.push_back(p);
+        f
+    }
+
+    /// Values currently queued (not counting parked receivers).
+    pub fn len(&self) -> usize {
+        self.state.lock().values.len()
+    }
+
+    /// True when no values are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: Send + 'static> Default for Channel<T> {
+    fn default() -> Self {
+        Channel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{when_all, Runtime};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_excludes_under_contention() {
+        let rt = Runtime::new(4);
+        let m = Arc::new(Mutex::new(0u64));
+        let futures: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                rt.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        when_all(futures).get();
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn mutex_try_lock_fails_when_held() {
+        let m = Mutex::new(1);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn mutex_into_inner() {
+        assert_eq!(Mutex::new(9).into_inner(), 9);
+    }
+
+    #[test]
+    fn latch_opens_after_count() {
+        let rt = Runtime::new(2);
+        let latch = Arc::new(Latch::new(5));
+        for _ in 0..5 {
+            let l = Arc::clone(&latch);
+            rt.handle().spawn_detached(move || l.count_down());
+        }
+        latch.wait();
+        assert!(latch.is_ready());
+    }
+
+    #[test]
+    fn latch_zero_is_immediately_ready() {
+        let l = Latch::new(0);
+        assert!(l.is_ready());
+        l.wait();
+    }
+
+    #[test]
+    #[should_panic(expected = "latch counted below zero")]
+    fn latch_underflow_panics() {
+        let l = Latch::new(0);
+        l.count_down();
+    }
+
+    #[test]
+    fn latch_wait_on_worker_helps() {
+        // Single worker: the waiting task must execute the counting tasks.
+        let rt = Runtime::new(1);
+        let latch = Arc::new(Latch::new(3));
+        let h = rt.handle();
+        let l2 = Arc::clone(&latch);
+        let f = rt.spawn(move || {
+            for _ in 0..3 {
+                let l = Arc::clone(&l2);
+                h.spawn_detached(move || l.count_down());
+            }
+            l2.wait();
+            true
+        });
+        assert!(f.get());
+    }
+
+    #[test]
+    fn barrier_elects_one_leader_per_generation() {
+        let barrier = Arc::new(Barrier::new(4));
+        for _gen in 0..3 {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let b = Arc::clone(&barrier);
+                handles.push(std::thread::spawn(move || b.wait()));
+            }
+            let leaders: usize = handles
+                .into_iter()
+                .map(|h| usize::from(h.join().unwrap()))
+                .sum();
+            assert_eq!(leaders, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn empty_barrier_rejected() {
+        let _ = Barrier::new(0);
+    }
+
+    #[test]
+    fn channel_send_then_recv() {
+        let ch = Channel::new();
+        ch.send(1);
+        ch.send(2);
+        assert_eq!(ch.len(), 2);
+        assert_eq!(ch.recv().get(), 1);
+        assert_eq!(ch.recv().get(), 2);
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn channel_recv_before_send() {
+        let rt = Runtime::new(2);
+        let ch = Arc::new(Channel::new());
+        let c2 = Arc::clone(&ch);
+        let f = ch.recv();
+        rt.handle().spawn_detached(move || c2.send(42));
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn channel_fifo_across_waiters() {
+        let ch: Channel<i32> = Channel::new();
+        let f1 = ch.recv();
+        let f2 = ch.recv();
+        ch.send(1);
+        ch.send(2);
+        assert_eq!(f1.get(), 1);
+        assert_eq!(f2.get(), 2);
+    }
+
+    #[test]
+    fn channel_many_producers_consumers() {
+        let rt = Runtime::new(4);
+        let ch = Arc::new(Channel::new());
+        // 16 consumers first (parked), then 16 producers.
+        let consumers: Vec<_> = (0..16).map(|_| ch.recv()).collect();
+        for i in 0..16 {
+            let c = Arc::clone(&ch);
+            rt.handle().spawn_detached(move || c.send(i));
+        }
+        let mut got: Vec<i32> = when_all(consumers).get();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion bench for the `amt` runtime: task spawn/sync throughput,
+//! parallel algorithms, senders & receivers, coroutine resumes, and the
+//! thread-count ablation DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use amt::par::{self, ExecutionPolicy};
+use amt::sr::{schedule, sync_wait, Sender};
+use amt::{coro, when_all, Runtime};
+use repro_bench::bench_runtime;
+
+fn spawn_throughput(c: &mut Criterion) {
+    let rt = bench_runtime();
+    let h = rt.handle();
+    let mut g = c.benchmark_group("amt-spawn");
+    g.sample_size(10);
+    for &count in &[64usize, 512] {
+        g.bench_with_input(BenchmarkId::new("spawn_get", count), &count, |b, &n| {
+            b.iter(|| {
+                let futures: Vec<_> = (0..n).map(|i| h.spawn(move || black_box(i * 2))).collect();
+                black_box(when_all(futures).get())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn parallel_algorithms(c: &mut Criterion) {
+    let rt = bench_runtime();
+    let h = rt.handle();
+    let data: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
+    let mut g = c.benchmark_group("amt-par");
+    g.sample_size(10);
+    g.bench_function("transform_reduce_par", |b| {
+        b.iter(|| {
+            black_box(par::transform_reduce(
+                &h,
+                ExecutionPolicy::Par,
+                0..data.len(),
+                0.0,
+                |i| data[i] * 0.5,
+                |a, b| a + b,
+            ))
+        })
+    });
+    g.bench_function("transform_reduce_seq", |b| {
+        b.iter(|| {
+            black_box(par::transform_reduce(
+                &h,
+                ExecutionPolicy::Seq,
+                0..data.len(),
+                0.0,
+                |i| data[i] * 0.5,
+                |a, b| a + b,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn senders_and_coroutines(c: &mut Criterion) {
+    let rt = bench_runtime();
+    let h = rt.handle();
+    let mut g = c.benchmark_group("amt-styles");
+    g.sample_size(10);
+    g.bench_function("senders_pipeline", |b| {
+        b.iter(|| {
+            black_box(sync_wait(
+                schedule(&h).then(|_| 1).then(|x| x + 1).then(|x| x * 2),
+            ))
+        })
+    });
+    g.bench_function("coroutine_resumes", |b| {
+        b.iter(|| {
+            let co = coro::ChunkedFold::new(0..4096, 256, 0u64, |acc, i| acc + i as u64);
+            black_box(coro::spawn_coroutine(&h, co).get())
+        })
+    });
+    g.finish();
+}
+
+/// Ablation (DESIGN.md §6): the same reduction across worker counts.
+fn ablation_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("amt-ablation-sched");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("reduce_threads", threads),
+            &threads,
+            |b, &t| {
+                let rt = Runtime::new(t);
+                let h = rt.handle();
+                b.iter(|| {
+                    black_box(par::transform_reduce(
+                        &h,
+                        ExecutionPolicy::Par,
+                        1..200_000,
+                        0.0,
+                        |i| 1.0 / i as f64,
+                        |a, b| a + b,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    spawn_throughput,
+    parallel_algorithms,
+    senders_and_coroutines,
+    ablation_sched
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion bench for the distributed substrate: wire encode/decode, local
+//! vs remote action round trips, and the ghost-payload throughput behind
+//! Fig. 8's parcel traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use distrib::{from_bytes, to_bytes, Cluster, ClusterConfig, LocalityHandle};
+use rv_machine::NetBackend;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize)]
+struct Halo {
+    pos: u64,
+    data: Vec<f64>,
+}
+
+fn wire_codec(c: &mut Criterion) {
+    let halo = Halo {
+        pos: 42,
+        data: (0..2560).map(|i| i as f64 * 0.5).collect(),
+    };
+    let encoded = to_bytes(&halo).unwrap();
+    let mut g = c.benchmark_group("distrib-wire");
+    g.sample_size(20);
+    g.bench_function("encode_halo_20kB", |b| {
+        b.iter(|| black_box(to_bytes(black_box(&halo)).unwrap()))
+    });
+    g.bench_function("decode_halo_20kB", |b| {
+        b.iter(|| black_box(from_bytes::<Halo>(black_box(&encoded)).unwrap()))
+    });
+    g.finish();
+}
+
+fn actions(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig {
+        localities: 2,
+        threads_per_locality: 2,
+        backend: NetBackend::Tcp,
+    });
+    cluster.register_action("echo", |_: &LocalityHandle, _, v: Vec<f64>| v);
+    let l0 = cluster.locality(0);
+    let l1 = cluster.locality(1);
+    let local_gid = l0.new_component(());
+    let remote_gid = l1.new_component(());
+    let payload: Vec<f64> = (0..512).map(|i| i as f64).collect();
+
+    let mut g = c.benchmark_group("distrib-actions");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("invoke", "local"), &local_gid, |b, &gid| {
+        b.iter(|| {
+            let r: Vec<f64> = l0.invoke(gid, "echo", &payload).get();
+            black_box(r)
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("invoke", "remote"), &remote_gid, |b, &gid| {
+        b.iter(|| {
+            let r: Vec<f64> = l0.invoke(gid, "echo", &payload).get();
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, wire_codec, actions);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! The figure-regeneration harness: running `cargo bench` regenerates every
+//! table and figure of the paper and prints it (quick workloads by default;
+//! set `OCTO_FULL=1` for the paper's full parameters — level-4 tree, five
+//! steps, 2×10⁵-term host sweeps).
+//!
+//! This bench is intentionally not a Criterion micro-benchmark: its product
+//! is the exhibits themselves (plus a wall-time line per exhibit).
+
+use std::time::Instant;
+
+fn main() {
+    // Honour Criterion-style filter args so `cargo bench fig8` works.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filters: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+    let quick = std::env::var_os("OCTO_FULL").is_none();
+    println!(
+        "== regenerating paper exhibits ({}) ==\n",
+        if quick {
+            "quick workloads; OCTO_FULL=1 for paper-scale"
+        } else {
+            "paper-scale workloads"
+        }
+    );
+    for id in octo_core::experiments::EXHIBIT_IDS {
+        if !filters.is_empty() && !filters.iter().any(|f| id.contains(f)) {
+            continue;
+        }
+        let start = Instant::now();
+        let exhibit = octo_core::experiments::run_one(id, quick).expect("known exhibit id");
+        exhibit.print();
+        println!("  [regenerated in {:.2}s]\n", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,94 @@
+//! Criterion bench for `kokkos-lite`: parallel patterns on both execution
+//! spaces, SIMD pack widths (the Table 2 vector lengths), and the
+//! tasks-per-kernel ablation (the §3.2 knob).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kokkos_lite::{
+    parallel_fill, parallel_reduce_sum, simd_sum, HpxSpace, RangePolicy, Serial, View,
+};
+use repro_bench::bench_runtime;
+
+fn spaces(c: &mut Criterion) {
+    let rt = bench_runtime();
+    let n = 100_000;
+    let mut g = c.benchmark_group("kokkos-spaces");
+    g.sample_size(10);
+    g.bench_function("reduce_serial", |b| {
+        b.iter(|| {
+            black_box(parallel_reduce_sum(&Serial, RangePolicy::new(0, n), |i| {
+                (i as f64).sqrt()
+            }))
+        })
+    });
+    g.bench_function("reduce_hpx", |b| {
+        let space = HpxSpace::new(rt.handle());
+        b.iter(|| {
+            black_box(parallel_reduce_sum(&space, RangePolicy::new(0, n), |i| {
+                (i as f64).sqrt()
+            }))
+        })
+    });
+    g.finish();
+}
+
+fn views(c: &mut Criterion) {
+    let rt = bench_runtime();
+    let mut g = c.benchmark_group("kokkos-views");
+    g.sample_size(10);
+    g.bench_function("fill_3d_view_hpx", |b| {
+        let mut v: View<f64> = View::new_3d("bench", 64, 64, 64);
+        let space = HpxSpace::new(rt.handle());
+        b.iter(|| {
+            parallel_fill(&space, v.as_mut_slice(), |i| (i % 101) as f64);
+            black_box(v.get3(1, 2, 3))
+        })
+    });
+    g.finish();
+}
+
+fn simd_widths(c: &mut Criterion) {
+    let data: Vec<f64> = (0..65_536).map(|i| (i as f64) * 0.25).collect();
+    let mut g = c.benchmark_group("kokkos-simd");
+    g.sample_size(10);
+    // Width 1 is the RISC-V scalar fallback; 4 the EPYC's AVX2; 8 the
+    // A64FX/AVX-512 width.
+    g.bench_with_input(BenchmarkId::new("sum_width", 1), &1, |b, _| {
+        b.iter(|| black_box(simd_sum::<1>(&data)))
+    });
+    g.bench_with_input(BenchmarkId::new("sum_width", 4), &4, |b, _| {
+        b.iter(|| black_box(simd_sum::<4>(&data)))
+    });
+    g.bench_with_input(BenchmarkId::new("sum_width", 8), &8, |b, _| {
+        b.iter(|| black_box(simd_sum::<8>(&data)))
+    });
+    g.finish();
+}
+
+/// Ablation (DESIGN.md §6): tasks per kernel for the HPX execution space.
+fn ablation_chunks(c: &mut Criterion) {
+    let rt = bench_runtime();
+    let mut g = c.benchmark_group("kokkos-ablation-chunks");
+    g.sample_size(10);
+    for chunks in [1usize, 4, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("tasks_per_kernel", chunks),
+            &chunks,
+            |b, &n| {
+                let space = HpxSpace::with_chunks(rt.handle(), n);
+                b.iter(|| {
+                    black_box(parallel_reduce_sum(
+                        &space,
+                        RangePolicy::new(0, 50_000),
+                        |i| (i as f64) * 1.0001,
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, spaces, views, simd_widths, ablation_chunks);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for the Maclaurin benchmark (Figs. 4–5): the four
+//! parallelism styles at a host-friendly term count, plus the counted
+//! (softmath) variant used as the `perf` substitute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use octo_core::maclaurin::{self, Approach};
+use repro_bench::bench_runtime;
+
+fn styles(c: &mut Criterion) {
+    let rt = bench_runtime();
+    let h = rt.handle();
+    let n: u64 = 200_000;
+    let mut g = c.benchmark_group("maclaurin");
+    g.sample_size(10);
+    for approach in Approach::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("style", approach.label()),
+            &approach,
+            |b, &ap| {
+                b.iter(|| black_box(maclaurin::run(ap, &h, maclaurin::PAPER_X, black_box(n))))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn counted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maclaurin-counted");
+    g.sample_size(10);
+    g.bench_function("softmath_flop_counting", |b| {
+        b.iter(|| black_box(maclaurin::counted(maclaurin::PAPER_X, black_box(20_000))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, styles, counted);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! # repro-bench — the benchmark harness
+//!
+//! One Criterion bench per subsystem plus `bench_figures`, which regenerates
+//! every table and figure of the paper (the `cargo bench` entry point the
+//! reproduction brief asks for). Helpers shared by the benches live here.
+
+use amt::Runtime;
+use octotiger::{Driver, KernelType, OctoConfig};
+
+/// A small rotating-star driver for kernel benches (level 1, one step).
+pub fn tiny_driver(kernel: KernelType) -> Driver {
+    Driver::new(OctoConfig {
+        max_level: 1,
+        stop_step: 1,
+        ..OctoConfig::with_all_kernels(kernel)
+    })
+}
+
+/// A runtime sized for this host.
+pub fn bench_runtime() -> Runtime {
+    Runtime::new(std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 4)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_construct() {
+        let rt = bench_runtime();
+        assert!(rt.num_threads() >= 2);
+        let d = tiny_driver(KernelType::KokkosSerial);
+        assert!(d.tree().leaf_count() >= 8);
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```bash
+//! figures -- all [--quick]      # every exhibit
+//! figures -- fig4a fig8 table2  # specific exhibits
+//! ```
+
+use octo_core::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick") || std::env::var_os("OCTO_QUICK").is_some();
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() || ids.contains(&"all") {
+        for e in experiments::run_all(quick) {
+            e.print();
+            println!();
+        }
+        return;
+    }
+    for id in ids {
+        match experiments::run_one(id, quick) {
+            Some(e) => {
+                e.print();
+                println!();
+            }
+            None => {
+                eprintln!(
+                    "unknown exhibit {id:?}; available: {}",
+                    experiments::EXHIBIT_IDS.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Active Global Address Space — HPX's AGAS (§3.1 of the paper), the
+//! service that lets components live on any locality while callers address
+//! them by a location-transparent global id.
+//!
+//! A [`Gid`] encodes the *creating* locality in its upper bits plus a
+//! sequence number; the [`Agas`] registry maps gids to their *current*
+//! locality, so components can in principle be migrated (HPX supports this;
+//! Octo-Tiger uses placement-at-creation, which [`Agas::register`] covers).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one locality (one VisionFive2 board in the paper's
+/// two-node cluster).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LocalityId(pub u32);
+
+/// Global id of a component (an octree node in Octo-Tiger).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Gid(u64);
+
+const LOCALITY_SHIFT: u32 = 48;
+
+impl Gid {
+    /// The locality that *created* this gid (not necessarily where the
+    /// component currently lives — ask [`Agas::resolve`] for that).
+    pub fn creator(self) -> LocalityId {
+        LocalityId((self.0 >> LOCALITY_SHIFT) as u32)
+    }
+
+    /// Sequence number within the creating locality.
+    pub fn sequence(self) -> u64 {
+        self.0 & ((1u64 << LOCALITY_SHIFT) - 1)
+    }
+
+    /// Raw value (for logging).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Gid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gid({}:{})", self.creator().0, self.sequence())
+    }
+}
+
+/// The global address registry shared by all localities of a cluster.
+#[derive(Debug, Default)]
+pub struct Agas {
+    map: RwLock<HashMap<Gid, LocalityId>>,
+    next: AtomicU64,
+}
+
+impl Agas {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mint a fresh gid on behalf of `creator`.
+    pub fn new_gid(&self, creator: LocalityId) -> Gid {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(seq < (1 << LOCALITY_SHIFT), "gid space exhausted");
+        Gid((u64::from(creator.0) << LOCALITY_SHIFT) | seq)
+    }
+
+    /// Bind `gid` to the locality where its component lives.
+    pub fn register(&self, gid: Gid, at: LocalityId) {
+        let prev = self.map.write().insert(gid, at);
+        assert!(prev.is_none(), "gid {gid} registered twice");
+    }
+
+    /// Where does `gid` live?
+    pub fn resolve(&self, gid: Gid) -> Option<LocalityId> {
+        self.map.read().get(&gid).copied()
+    }
+
+    /// Move a binding (component migration).
+    pub fn migrate(&self, gid: Gid, to: LocalityId) -> bool {
+        match self.map.write().get_mut(&gid) {
+            Some(loc) => {
+                *loc = to;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a binding (component destruction).
+    pub fn unregister(&self, gid: Gid) -> Option<LocalityId> {
+        self.map.write().remove(&gid)
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True when no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gid_encodes_creator_and_sequence() {
+        let agas = Agas::new();
+        let g0 = agas.new_gid(LocalityId(0));
+        let g1 = agas.new_gid(LocalityId(1));
+        assert_eq!(g0.creator(), LocalityId(0));
+        assert_eq!(g1.creator(), LocalityId(1));
+        assert_ne!(g0, g1);
+        assert_eq!(g0.sequence() + 1, g1.sequence());
+    }
+
+    #[test]
+    fn register_resolve_roundtrip() {
+        let agas = Agas::new();
+        let g = agas.new_gid(LocalityId(0));
+        assert_eq!(agas.resolve(g), None);
+        agas.register(g, LocalityId(1));
+        assert_eq!(agas.resolve(g), Some(LocalityId(1)));
+    }
+
+    #[test]
+    fn component_may_live_away_from_creator() {
+        // The essence of AGAS: creation locality ≠ residence locality.
+        let agas = Agas::new();
+        let g = agas.new_gid(LocalityId(0));
+        agas.register(g, LocalityId(1));
+        assert_eq!(g.creator(), LocalityId(0));
+        assert_eq!(agas.resolve(g), Some(LocalityId(1)));
+    }
+
+    #[test]
+    fn migrate_moves_binding() {
+        let agas = Agas::new();
+        let g = agas.new_gid(LocalityId(0));
+        agas.register(g, LocalityId(0));
+        assert!(agas.migrate(g, LocalityId(1)));
+        assert_eq!(agas.resolve(g), Some(LocalityId(1)));
+        assert!(!agas.migrate(agas.new_gid(LocalityId(0)), LocalityId(1)));
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let agas = Agas::new();
+        let g = agas.new_gid(LocalityId(2));
+        agas.register(g, LocalityId(2));
+        assert_eq!(agas.unregister(g), Some(LocalityId(2)));
+        assert_eq!(agas.resolve(g), None);
+        assert!(agas.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_register_panics() {
+        let agas = Agas::new();
+        let g = agas.new_gid(LocalityId(0));
+        agas.register(g, LocalityId(0));
+        agas.register(g, LocalityId(1));
+    }
+
+    #[test]
+    fn gids_unique_across_threads() {
+        let agas = std::sync::Arc::new(Agas::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let a = std::sync::Arc::clone(&agas);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| a.new_gid(LocalityId(t))).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Gid> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000);
+    }
+}

@@ -1,0 +1,629 @@
+//! Multi-locality cluster: components, remote actions and parcel routing.
+//!
+//! A [`Cluster`] simulates the paper's two-board VisionFive2 setup inside
+//! one process: every locality owns its own `amt::Runtime` (one per board,
+//! `--hpx:threads=4`) and a parcel receive loop. Remote action invocations
+//! serialize their arguments through [`crate::wire`], travel as [`Parcel`]s,
+//! execute as tasks on the target locality's runtime, and return their
+//! serialized result the same way — so the byte/message statistics the
+//! Fig. 8 projection consumes are measured, not guessed.
+//!
+//! Local invocations take HPX's "unified syntax" fast path: same API, no
+//! wire bytes, a direct task on the local runtime.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use amt::{Future, Promise, Runtime};
+use rv_machine::NetBackend;
+
+use crate::agas::{Agas, Gid, LocalityId};
+use crate::stats::{NetSnapshot, NetStats};
+use crate::wire;
+
+/// Cluster construction parameters (the paper's cluster: 2 localities ×
+/// 4 threads, TCP or MPI backend).
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of localities (boards).
+    pub localities: u32,
+    /// Worker threads per locality (`--hpx:threads`).
+    pub threads_per_locality: usize,
+    /// Communication backend (the parcelport of §3.1 / §6.2.2).
+    pub backend: NetBackend,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            localities: 2,
+            threads_per_locality: 4,
+            backend: NetBackend::Tcp,
+        }
+    }
+}
+
+/// One parcel on the (simulated) wire.
+#[derive(Debug)]
+enum Parcel {
+    Request {
+        from: LocalityId,
+        target: Gid,
+        action: String,
+        payload: Bytes,
+        call_id: u64,
+    },
+    Response {
+        call_id: u64,
+        result: Result<Bytes, String>,
+    },
+}
+
+type Handler =
+    Arc<dyn Fn(&LocalityHandle, Gid, &[u8]) -> Result<Bytes, String> + Send + Sync + 'static>;
+
+struct LocalityInner {
+    id: LocalityId,
+    components: Mutex<HashMap<Gid, Box<dyn Any + Send>>>,
+    pending: Mutex<HashMap<u64, Promise<Result<Bytes, String>>>>,
+    next_call: AtomicU64,
+    tx: Sender<Parcel>,
+}
+
+struct ClusterInner {
+    config: ClusterConfig,
+    agas: Agas,
+    actions: Mutex<HashMap<String, Handler>>,
+    localities: Mutex<Vec<Arc<LocalityInner>>>,
+    stats: NetStats,
+    rx_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    // Runtimes are deliberately kept *outside* the per-locality Arc:
+    // handler tasks hold `Arc<LocalityInner>`, and a task running on a
+    // locality's own worker must never be the one that drops that
+    // locality's `Runtime` (a pool cannot join itself). The `Cluster` owner
+    // drops the runtimes from its own thread instead.
+    runtimes: Vec<Runtime>,
+}
+
+impl ClusterInner {
+    fn locality(&self, id: LocalityId) -> Arc<LocalityInner> {
+        let locs = self.localities.lock();
+        Arc::clone(
+            locs.get(id.0 as usize)
+                .unwrap_or_else(|| panic!("no such locality {}", id.0)),
+        )
+    }
+
+    fn send(&self, to: LocalityId, parcel: Parcel) {
+        let payload_len = match &parcel {
+            Parcel::Request {
+                payload, action, ..
+            } => payload.len() as u64 + action.len() as u64,
+            Parcel::Response { result, .. } => match result {
+                Ok(b) => b.len() as u64,
+                Err(e) => e.len() as u64,
+            },
+        };
+        self.stats.record_message(payload_len);
+        // Delivery to the target's receive loop; if the locality is gone
+        // (cluster shutting down) the parcel is dropped, like a closed socket.
+        let _ = self.locality(to).tx.send(parcel);
+    }
+}
+
+/// Handle to one locality of a [`Cluster`]; cloneable and `Send`, used both
+/// by application drivers and inside action handlers (handlers receive the
+/// handle of the locality they execute on).
+#[derive(Clone)]
+pub struct LocalityHandle {
+    cluster: Weak<ClusterInner>,
+    inner: Arc<LocalityInner>,
+    runtime: amt::Handle,
+}
+
+impl LocalityHandle {
+    fn cluster(&self) -> Arc<ClusterInner> {
+        self.cluster.upgrade().expect("cluster has been dropped")
+    }
+
+    /// This locality's id.
+    pub fn id(&self) -> LocalityId {
+        self.inner.id
+    }
+
+    /// Submission handle for this locality's task runtime.
+    pub fn runtime(&self) -> amt::Handle {
+        self.runtime.clone()
+    }
+
+    /// Scheduler statistics of this locality's runtime.
+    pub fn runtime_stats(&self) -> amt::RuntimeStats {
+        self.runtime.stats()
+    }
+
+    /// Create a component *on this locality* and register it with AGAS.
+    pub fn new_component<T: Send + 'static>(&self, value: T) -> Gid {
+        let cluster = self.cluster();
+        let gid = cluster.agas.new_gid(self.inner.id);
+        cluster.agas.register(gid, self.inner.id);
+        self.inner
+            .components
+            .lock()
+            .insert(gid, Box::new(Mutex::new(value)));
+        gid
+    }
+
+    /// Access a component stored on *this* locality. Returns `None` when the
+    /// gid does not resolve here or holds a different type.
+    pub fn with_component<T: Send + 'static, R>(
+        &self,
+        gid: Gid,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Option<R> {
+        let comps = self.inner.components.lock();
+        let boxed = comps.get(&gid)?;
+        let cell = boxed.downcast_ref::<Mutex<T>>()?;
+        let mut guard = cell.lock();
+        Some(f(&mut guard))
+    }
+
+    /// Destroy a locally stored component and drop its AGAS binding.
+    pub fn destroy_component(&self, gid: Gid) -> bool {
+        let existed = self.inner.components.lock().remove(&gid).is_some();
+        if existed {
+            self.cluster().agas.unregister(gid);
+        }
+        existed
+    }
+
+    /// Invoke `action` on the component `gid`, wherever it lives — HPX's
+    /// remote function call with unified local/remote syntax. Returns the
+    /// future of the (deserialized) result; remote failures (unknown action,
+    /// decode errors, handler panics) surface as panics at `.get()`.
+    pub fn invoke<Req, Resp>(&self, gid: Gid, action: &str, req: &Req) -> Future<Resp>
+    where
+        Req: Serialize,
+        Resp: DeserializeOwned + Send + 'static,
+    {
+        let cluster = self.cluster();
+        let target = cluster
+            .agas
+            .resolve(gid)
+            .unwrap_or_else(|| panic!("unresolved gid {gid}"));
+        let payload = wire::to_bytes(req).expect("request serialization failed");
+        if target == self.inner.id {
+            cluster.stats.record_local_action();
+            let handler = lookup(&cluster, action);
+            let me = self.clone();
+            let action = action.to_string();
+            return self.runtime().spawn(move || {
+                let bytes = handler(&me, gid, &payload)
+                    .unwrap_or_else(|e| panic!("local action {action} failed: {e}"));
+                wire::from_bytes::<Resp>(&bytes).expect("response deserialization failed")
+            });
+        }
+        cluster.stats.record_remote_action();
+        let call_id = self.inner.next_call.fetch_add(1, Ordering::Relaxed);
+        let (promise, raw) = amt::future_pair::<Result<Bytes, String>>();
+        self.inner.pending.lock().insert(call_id, promise);
+        cluster.send(
+            target,
+            Parcel::Request {
+                from: self.inner.id,
+                target: gid,
+                action: action.to_string(),
+                payload,
+                call_id,
+            },
+        );
+        let action = action.to_string();
+        raw.then(move |res| {
+            let bytes = res.unwrap_or_else(|e| panic!("remote action {action} failed: {e}"));
+            wire::from_bytes::<Resp>(&bytes).expect("response deserialization failed")
+        })
+    }
+
+    /// Run `f` as a task on this locality (supervisor/delegate driver code).
+    pub fn run<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.runtime().spawn(f)
+    }
+}
+
+fn lookup(cluster: &ClusterInner, action: &str) -> Handler {
+    cluster
+        .actions
+        .lock()
+        .get(action)
+        .cloned()
+        .unwrap_or_else(|| panic!("action {action:?} is not registered"))
+}
+
+fn rx_loop(
+    rx: Receiver<Parcel>,
+    cluster: Weak<ClusterInner>,
+    me: Weak<LocalityInner>,
+    runtime: amt::Handle,
+) {
+    while let Ok(parcel) = rx.recv() {
+        let (Some(cluster_arc), Some(me_arc)) = (cluster.upgrade(), me.upgrade()) else {
+            break;
+        };
+        match parcel {
+            Parcel::Request {
+                from,
+                target,
+                action,
+                payload,
+                call_id,
+            } => {
+                let handler = {
+                    let actions = cluster_arc.actions.lock();
+                    actions.get(&action).cloned()
+                };
+                let handle = LocalityHandle {
+                    cluster: cluster.clone(),
+                    inner: Arc::clone(&me_arc),
+                    runtime: runtime.clone(),
+                };
+                let cluster_for_task = cluster.clone();
+                runtime.spawn_detached(move || {
+                    let result = match handler {
+                        Some(h) => {
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                h(&handle, target, &payload)
+                            })) {
+                                Ok(r) => r,
+                                Err(_) => Err(format!("action {action:?} panicked")),
+                            }
+                        }
+                        None => Err(format!("action {action:?} is not registered")),
+                    };
+                    if let Some(c) = cluster_for_task.upgrade() {
+                        c.send(from, Parcel::Response { call_id, result });
+                    }
+                });
+            }
+            Parcel::Response { call_id, result } => {
+                let promise = me_arc.pending.lock().remove(&call_id);
+                if let Some(p) = promise {
+                    p.set_value(result);
+                }
+            }
+        }
+    }
+}
+
+/// The simulated cluster (see module docs). Dropping it shuts down every
+/// locality's runtime and receive loop.
+pub struct Cluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl Cluster {
+    /// Boot a cluster per `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.localities >= 1, "need at least one locality");
+        assert!(config.threads_per_locality >= 1, "need at least one thread");
+        let runtimes: Vec<Runtime> = (0..config.localities)
+            .map(|_| Runtime::new(config.threads_per_locality))
+            .collect();
+        let inner = Arc::new(ClusterInner {
+            config,
+            agas: Agas::new(),
+            actions: Mutex::new(HashMap::new()),
+            localities: Mutex::new(Vec::new()),
+            stats: NetStats::new(),
+            rx_threads: Mutex::new(Vec::new()),
+            runtimes,
+        });
+        for i in 0..config.localities {
+            let (tx, rx) = unbounded();
+            let loc = Arc::new(LocalityInner {
+                id: LocalityId(i),
+                components: Mutex::new(HashMap::new()),
+                pending: Mutex::new(HashMap::new()),
+                next_call: AtomicU64::new(0),
+                tx,
+            });
+            let weak_cluster = Arc::downgrade(&inner);
+            let weak_loc = Arc::downgrade(&loc);
+            let handle = inner.runtimes[i as usize].handle();
+            let join = std::thread::Builder::new()
+                .name(format!("parcelport-{i}"))
+                .spawn(move || rx_loop(rx, weak_cluster, weak_loc, handle))
+                .expect("failed to spawn parcelport thread");
+            inner.localities.lock().push(loc);
+            inner.rx_threads.lock().push(join);
+        }
+        Cluster { inner }
+    }
+
+    /// Convenience: the paper's in-house setup (2 boards × 4 cores) with the
+    /// chosen backend.
+    pub fn visionfive2_pair(backend: NetBackend) -> Self {
+        Cluster::new(ClusterConfig {
+            localities: 2,
+            threads_per_locality: 4,
+            backend,
+        })
+    }
+
+    /// Register an action handler under `name` on **all** localities (like
+    /// an HPX action: the same code is linked into every process image).
+    pub fn register_action<Req, Resp, F>(&self, name: &str, f: F)
+    where
+        Req: DeserializeOwned,
+        Resp: Serialize,
+        F: Fn(&LocalityHandle, Gid, Req) -> Resp + Send + Sync + 'static,
+    {
+        let handler: Handler = Arc::new(move |ctx, gid, bytes| {
+            let req: Req = wire::from_bytes(bytes).map_err(|e| format!("decode: {e}"))?;
+            let resp = f(ctx, gid, req);
+            wire::to_bytes(&resp).map_err(|e| format!("encode: {e}"))
+        });
+        let prev = self.inner.actions.lock().insert(name.to_string(), handler);
+        assert!(prev.is_none(), "action {name:?} registered twice");
+    }
+
+    /// Handle to locality `i`.
+    pub fn locality(&self, i: u32) -> LocalityHandle {
+        LocalityHandle {
+            cluster: Arc::downgrade(&self.inner),
+            inner: self.inner.locality(LocalityId(i)),
+            runtime: self.inner.runtimes[i as usize].handle(),
+        }
+    }
+
+    /// Number of localities.
+    pub fn num_localities(&self) -> u32 {
+        self.inner.config.localities
+    }
+
+    /// The configured parcelport backend.
+    pub fn backend(&self) -> NetBackend {
+        self.inner.config.backend
+    }
+
+    /// Communication statistics so far.
+    pub fn net_stats(&self) -> NetSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Zero the communication statistics (between measurement phases).
+    pub fn reset_net_stats(&self) {
+        self.inner.stats.reset();
+    }
+
+    /// Aggregate scheduler statistics across all localities.
+    pub fn runtime_stats(&self) -> amt::RuntimeStats {
+        let mut agg = amt::RuntimeStats::default();
+        for rt in &self.inner.runtimes {
+            let s = rt.stats();
+            agg.tasks_spawned += s.tasks_spawned;
+            agg.tasks_executed += s.tasks_executed;
+            agg.steals += s.steals;
+            agg.parks += s.parks;
+            agg.yields += s.yields;
+            agg.panics += s.panics;
+        }
+        agg
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // Dropping the locality Arcs closes the parcel channels (each
+        // locality owns its Sender), which ends the receive loops.
+        self.inner.localities.lock().clear();
+        let joins: Vec<_> = self.inner.rx_threads.lock().drain(..).collect();
+        for j in joins {
+            let _ = j.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    fn two_node() -> Cluster {
+        Cluster::new(ClusterConfig {
+            localities: 2,
+            threads_per_locality: 2,
+            backend: NetBackend::Tcp,
+        })
+    }
+
+    #[test]
+    fn component_lives_where_created() {
+        let c = two_node();
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(123u64);
+        assert!(l1.with_component::<u64, _>(gid, |v| *v).is_some());
+        assert!(l0.with_component::<u64, _>(gid, |v| *v).is_none());
+    }
+
+    #[test]
+    fn wrong_type_access_is_none() {
+        let c = two_node();
+        let l0 = c.locality(0);
+        let gid = l0.new_component(1u64);
+        assert!(l0.with_component::<String, _>(gid, |_| ()).is_none());
+    }
+
+    #[test]
+    fn local_invoke_skips_the_wire() {
+        let c = two_node();
+        c.register_action("double", |ctx: &LocalityHandle, gid, x: u64| {
+            ctx.with_component::<u64, _>(gid, |v| *v + x).unwrap()
+        });
+        let l0 = c.locality(0);
+        let gid = l0.new_component(10u64);
+        let r: u64 = l0.invoke(gid, "double", &5u64).get();
+        assert_eq!(r, 15);
+        let s = c.net_stats();
+        assert_eq!(s.messages, 0);
+        assert_eq!(s.local_actions, 1);
+        assert_eq!(s.remote_actions, 0);
+    }
+
+    #[test]
+    fn remote_invoke_crosses_the_wire() {
+        let c = two_node();
+        c.register_action("get", |ctx: &LocalityHandle, gid, (): ()| {
+            ctx.with_component::<u64, _>(gid, |v| *v).unwrap()
+        });
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(77u64);
+        let r: u64 = l0.invoke(gid, "get", &()).get();
+        assert_eq!(r, 77);
+        let s = c.net_stats();
+        assert_eq!(s.remote_actions, 1);
+        assert_eq!(s.messages, 2, "request + response");
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn many_concurrent_remote_calls() {
+        let c = two_node();
+        c.register_action("add", |ctx: &LocalityHandle, gid, x: u64| {
+            ctx.with_component::<u64, _>(gid, |v| {
+                *v += x;
+                *v
+            })
+            .unwrap()
+        });
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(0u64);
+        let futures: Vec<amt::Future<u64>> =
+            (0..100).map(|_| l0.invoke(gid, "add", &1u64)).collect();
+        let results = amt::when_all(futures).get();
+        assert_eq!(results.len(), 100);
+        assert_eq!(l1.with_component::<u64, _>(gid, |v| *v), Some(100));
+        assert_eq!(c.net_stats().remote_actions, 100);
+    }
+
+    #[test]
+    fn handler_can_invoke_further_actions() {
+        // Tree-traversal shape: an action on locality 1 calls back into an
+        // action on locality 0.
+        let c = two_node();
+        c.register_action("leaf", |_ctx: &LocalityHandle, _gid, x: u64| x * 2);
+        c.register_action("node", |ctx: &LocalityHandle, _gid, child: Gid| -> u64 {
+            ctx.invoke::<u64, u64>(child, "leaf", &21).get()
+        });
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let leaf_gid = l0.new_component(());
+        let node_gid = l1.new_component(());
+        let r: u64 = l0.invoke(node_gid, "node", &leaf_gid).get();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn unknown_action_panics_at_get() {
+        let c = two_node();
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(0u64);
+        let f: amt::Future<u64> = l0.invoke(gid, "missing", &());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get())).is_err());
+    }
+
+    #[test]
+    fn handler_panic_reported_to_caller() {
+        let c = two_node();
+        c.register_action("boom", |_: &LocalityHandle, _, (): ()| -> u64 {
+            panic!("handler exploded")
+        });
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(());
+        let f: amt::Future<u64> = l0.invoke(gid, "boom", &());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f.get())).is_err());
+    }
+
+    #[test]
+    fn destroy_component_unbinds() {
+        let c = two_node();
+        let l0 = c.locality(0);
+        let gid = l0.new_component(5i32);
+        assert!(l0.destroy_component(gid));
+        assert!(!l0.destroy_component(gid));
+        assert!(l0.with_component::<i32, _>(gid, |v| *v).is_none());
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct GhostMsg {
+        face: u8,
+        data: Vec<f64>,
+    }
+
+    #[test]
+    fn structured_payloads_roundtrip_across_wire() {
+        let c = two_node();
+        c.register_action("reflect", |_: &LocalityHandle, _, g: GhostMsg| GhostMsg {
+            face: g.face + 1,
+            data: g.data.iter().map(|x| x * 2.0).collect(),
+        });
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(());
+        let out: GhostMsg = l0
+            .invoke(
+                gid,
+                "reflect",
+                &GhostMsg {
+                    face: 1,
+                    data: vec![1.0, 2.0],
+                },
+            )
+            .get();
+        assert_eq!(
+            out,
+            GhostMsg {
+                face: 2,
+                data: vec![2.0, 4.0]
+            }
+        );
+    }
+
+    #[test]
+    fn bytes_scale_with_payload() {
+        let c = two_node();
+        c.register_action("sink", |_: &LocalityHandle, _, _v: Vec<f64>| 0u8);
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(());
+        let _: u8 = l0.invoke(gid, "sink", &vec![0.0f64; 10]).get();
+        let small = c.net_stats().bytes;
+        c.reset_net_stats();
+        let _: u8 = l0.invoke(gid, "sink", &vec![0.0f64; 1000]).get();
+        let large = c.net_stats().bytes;
+        assert!(large > small + 7000, "small={small} large={large}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_action_registration_panics() {
+        let c = two_node();
+        c.register_action("a", |_: &LocalityHandle, _, (): ()| 0u8);
+        c.register_action("a", |_: &LocalityHandle, _, (): ()| 0u8);
+    }
+}

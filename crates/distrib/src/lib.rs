@@ -1,0 +1,28 @@
+//! # distrib — simulated distributed runtime (AGAS + parcelports)
+//!
+//! The paper's distributed experiments (§6.2.2, Fig. 8) run Octo-Tiger on an
+//! in-house cluster of two VisionFive2 RISC-V boards over gigabit Ethernet,
+//! comparing HPX's TCP and MPI parcelports. This crate reproduces that
+//! substrate inside one process:
+//!
+//! * [`Cluster`] boots N *localities*, each with its own `amt::Runtime`
+//!   (one per board) and a parcel receive loop;
+//! * [`agas::Agas`] is the Active Global Address Space: components are
+//!   created on a locality, addressed by [`agas::Gid`], and resolvable from
+//!   anywhere;
+//! * remote **actions** ([`LocalityHandle::invoke`]) serialize their
+//!   arguments through the binary [`wire`] format, travel as parcels, run as
+//!   tasks on the target runtime, and return futures — with HPX's unified
+//!   local/remote syntax (local calls skip the wire);
+//! * [`stats::NetStats`] measures messages and bytes; the `rv-machine` cost
+//!   model turns those into TCP-vs-MPI link times for the Fig. 8 projection.
+
+pub mod agas;
+pub mod cluster;
+pub mod stats;
+pub mod wire;
+
+pub use agas::{Agas, Gid, LocalityId};
+pub use cluster::{Cluster, ClusterConfig, LocalityHandle};
+pub use stats::{NetSnapshot, NetStats, PARCEL_HEADER_BYTES};
+pub use wire::{from_bytes, to_bytes, WireError};

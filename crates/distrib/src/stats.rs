@@ -1,0 +1,126 @@
+//! Communication statistics — the measured quantities the Fig. 8 projection
+//! consumes (message counts and byte volumes per backend), plus the local
+//! action count that the unified local/remote syntax makes free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Framing overhead charged per parcel (gid, action id, call id, lengths) —
+/// roughly HPX's parcel header.
+pub const PARCEL_HEADER_BYTES: u64 = 48;
+
+/// Thread-safe communication counters for one cluster.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    remote_actions: AtomicU64,
+    local_actions: AtomicU64,
+}
+
+/// Immutable snapshot of [`NetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSnapshot {
+    /// Parcels put on the wire (requests + responses).
+    pub messages: u64,
+    /// Total bytes on the wire, headers included.
+    pub bytes: u64,
+    /// Action invocations that crossed localities.
+    pub remote_actions: u64,
+    /// Action invocations satisfied locally (no serialization on the wire).
+    pub local_actions: u64,
+}
+
+impl NetStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one parcel of `payload_bytes` payload.
+    pub fn record_message(&self, payload_bytes: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(payload_bytes + PARCEL_HEADER_BYTES, Ordering::Relaxed);
+    }
+
+    /// Record a remote action invocation (its two parcels are recorded
+    /// separately via [`NetStats::record_message`]).
+    pub fn record_remote_action(&self) {
+        self.remote_actions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a locally satisfied action.
+    pub fn record_local_action(&self) {
+        self.local_actions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            remote_actions: self.remote_actions.load(Ordering::Relaxed),
+            local_actions: self.local_actions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.remote_actions.store(0, Ordering::Relaxed);
+        self.local_actions.store(0, Ordering::Relaxed);
+    }
+}
+
+impl NetSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            messages: self.messages - earlier.messages,
+            bytes: self.bytes - earlier.bytes,
+            remote_actions: self.remote_actions - earlier.remote_actions,
+            local_actions: self.local_actions - earlier.local_actions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_recording_includes_header() {
+        let s = NetStats::new();
+        s.record_message(100);
+        s.record_message(0);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.bytes, 100 + 2 * PARCEL_HEADER_BYTES);
+    }
+
+    #[test]
+    fn action_kinds_tracked_separately() {
+        let s = NetStats::new();
+        s.record_remote_action();
+        s.record_local_action();
+        s.record_local_action();
+        let snap = s.snapshot();
+        assert_eq!(snap.remote_actions, 1);
+        assert_eq!(snap.local_actions, 2);
+    }
+
+    #[test]
+    fn reset_and_since() {
+        let s = NetStats::new();
+        s.record_message(10);
+        let first = s.snapshot();
+        s.record_message(20);
+        let second = s.snapshot();
+        let delta = second.since(&first);
+        assert_eq!(delta.messages, 1);
+        assert_eq!(delta.bytes, 20 + PARCEL_HEADER_BYTES);
+        s.reset();
+        assert_eq!(s.snapshot(), NetSnapshot::default());
+    }
+}

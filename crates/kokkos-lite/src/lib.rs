@@ -1,0 +1,35 @@
+//! # kokkos-lite — a Kokkos-like performance-portability layer
+//!
+//! Reproduction stand-in for **Kokkos** and the **HPX-Kokkos** integration
+//! the paper ports to RISC-V (§3.2, §5):
+//!
+//! * [`view::View`] — multi-dimensional arrays with `Left`/`Right` layouts
+//!   (Kokkos `View`s, the sub-grid storage of Octo-Tiger);
+//! * [`policy::RangePolicy`] / [`policy::MDRangePolicy`] — iteration spaces;
+//! * [`parallel`] — `parallel_for` / `parallel_reduce` / `parallel_scan`,
+//!   generic over the execution space;
+//! * [`space::Serial`] and [`space::HpxSpace`] — the two CPU execution
+//!   spaces of the paper's Fig. 7: inline execution vs splitting each kernel
+//!   into `amt` tasks (with the tasks-per-kernel knob of §3.2);
+//! * [`simd::Simd`] — portable SIMD packs; `Simd<1>` is the scalar fallback
+//!   the V-extension-less RISC-V boards compile to.
+//!
+//! Porting note mirrored from §5: Kokkos itself needed *no* code changes for
+//! RISC-V, only build-system architecture detection — correspondingly, this
+//! crate contains no architecture-specific code; the target architecture
+//! only enters through `rv_machine::CpuArch` in [`simd::natural_width`].
+
+pub mod parallel;
+pub mod policy;
+pub mod simd;
+pub mod space;
+pub mod view;
+
+pub use parallel::{
+    parallel_fill, parallel_for, parallel_for_md, parallel_reduce, parallel_reduce_max,
+    parallel_reduce_sum, parallel_scan_inclusive,
+};
+pub use policy::{MDRangePolicy, RangePolicy};
+pub use simd::{natural_width, simd_sum, Simd};
+pub use space::{ExecutionSpace, HpxSpace, Serial};
+pub use view::{create_mirror, deep_copy, Layout, View};

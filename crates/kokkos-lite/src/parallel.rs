@@ -1,0 +1,294 @@
+//! Parallel patterns — `Kokkos::parallel_for`, `parallel_reduce`,
+//! `parallel_scan`, generic over the [`ExecutionSpace`]. The same kernel
+//! body runs unchanged on [`Serial`](crate::space::Serial) and
+//! [`HpxSpace`](crate::space::HpxSpace), which is the portability claim the
+//! paper relies on (§3.2: the identical Kokkos kernel runs everywhere).
+
+use crate::policy::{MDRangePolicy, RangePolicy};
+use crate::space::ExecutionSpace;
+
+/// `Kokkos::parallel_for` over a 1-D range.
+pub fn parallel_for<S, F>(space: &S, policy: RangePolicy, f: F)
+where
+    S: ExecutionSpace,
+    F: Fn(usize) + Send + Sync,
+{
+    space.for_range(policy.range(), f);
+}
+
+/// `Kokkos::parallel_for` over a 3-D range, invoking `f(i, j, k)`.
+pub fn parallel_for_md<S, F>(space: &S, policy: MDRangePolicy, f: F)
+where
+    S: ExecutionSpace,
+    F: Fn(usize, usize, usize) + Send + Sync,
+{
+    let p = policy;
+    space.for_range(0..p.len(), move |flat| {
+        let (i, j, k) = p.unflatten(flat);
+        f(i, j, k);
+    });
+}
+
+/// `Kokkos::parallel_reduce` over a 1-D range with a custom joiner.
+pub fn parallel_reduce<S, R, M, J>(space: &S, policy: RangePolicy, identity: R, map: M, join: J) -> R
+where
+    S: ExecutionSpace,
+    R: Send + Clone,
+    M: Fn(usize) -> R + Send + Sync,
+    J: Fn(R, R) -> R + Send + Sync,
+{
+    space.reduce_range(policy.range(), identity, map, join)
+}
+
+/// Sum-reduction convenience (the common Kokkos `parallel_reduce` with a
+/// `double&` accumulator).
+pub fn parallel_reduce_sum<S, M>(space: &S, policy: RangePolicy, map: M) -> f64
+where
+    S: ExecutionSpace,
+    M: Fn(usize) -> f64 + Send + Sync,
+{
+    parallel_reduce(space, policy, 0.0, map, |a, b| a + b)
+}
+
+/// Max-reduction convenience (Octo-Tiger's CFL signal-speed reduction).
+pub fn parallel_reduce_max<S, M>(space: &S, policy: RangePolicy, map: M) -> f64
+where
+    S: ExecutionSpace,
+    M: Fn(usize) -> f64 + Send + Sync,
+{
+    parallel_reduce(space, policy, f64::NEG_INFINITY, map, f64::max)
+}
+
+/// `Kokkos::parallel_scan`: in-place inclusive prefix sum. The parallel
+/// version does the classic two-pass (chunk partials, then offset fix-up);
+/// for chunked execution the result equals the sequential scan because
+/// addition over f64 is applied in the same left-to-right order per chunk
+/// with exact partial offsets.
+pub fn parallel_scan_inclusive<S>(space: &S, data: &mut [f64])
+where
+    S: ExecutionSpace,
+{
+    let n = data.len();
+    if n == 0 {
+        return;
+    }
+    let conc = space.concurrency();
+    if conc <= 1 || n < 2 * conc {
+        let mut acc = 0.0;
+        for x in data.iter_mut() {
+            acc += *x;
+            *x = acc;
+        }
+        return;
+    }
+    let chunk = n.div_ceil(conc);
+    // Pass 1: scan each chunk independently.
+    {
+        let chunks: Vec<&mut [f64]> = data.chunks_mut(chunk).collect();
+        let id_chunks: Vec<(usize, &mut [f64])> = chunks.into_iter().enumerate().collect();
+        // Use the space itself to parallelize over chunks, moving each
+        // mutable chunk into its closure via a Mutex-free split.
+        let cells: Vec<parking_lot_free::SendCell<&mut [f64]>> = id_chunks
+            .into_iter()
+            .map(|(_, c)| parking_lot_free::SendCell::new(c))
+            .collect();
+        space.for_range(0..cells.len(), |ci| {
+            let c = cells[ci].take();
+            let mut acc = 0.0;
+            for x in c.iter_mut() {
+                acc += *x;
+                *x = acc;
+            }
+        });
+    }
+    // Pass 2: propagate chunk offsets (sequential over ≤ conc chunks).
+    let mut offset = 0.0;
+    let mut start = 0;
+    while start < n {
+        let end = (start + chunk).min(n);
+        if start > 0 {
+            for x in &mut data[start..end] {
+                *x += offset;
+            }
+        }
+        offset = data[end - 1];
+        start = end;
+    }
+}
+
+/// Elementwise parallel initialization: `out[i] = f(i)` — the common
+/// "compute a new field into a scratch view" kernel shape (Octo-Tiger's
+/// hydro update writes the next state this way). Chunks of `out` are moved
+/// into the space's tasks, so no locking is involved.
+pub fn parallel_fill<S, T, F>(space: &S, out: &mut [T], f: F)
+where
+    S: ExecutionSpace,
+    T: Send,
+    F: Fn(usize) -> T + Send + Sync,
+{
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let conc = space.concurrency();
+    if conc <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(conc * 4);
+    let pieces: Vec<(usize, parking_lot_free::SendCell<&mut [T]>)> = out
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(ci, c)| (ci * chunk, parking_lot_free::SendCell::new(c)))
+        .collect();
+    space.for_range(0..pieces.len(), |pi| {
+        let (offset, cell) = &pieces[pi];
+        let slice = cell.take();
+        for (local, slot) in slice.iter_mut().enumerate() {
+            *slot = f(offset + local);
+        }
+    });
+}
+
+/// Minimal one-shot cell allowing disjoint `&mut` chunks to cross into
+/// `Fn(usize)` kernels exactly once each.
+mod parking_lot_free {
+    use std::cell::UnsafeCell;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub struct SendCell<T> {
+        taken: AtomicBool,
+        value: UnsafeCell<Option<T>>,
+    }
+
+    // SAFETY: access is guarded by the `taken` flag — each cell's value is
+    // moved out exactly once, by exactly one thread.
+    unsafe impl<T: Send> Sync for SendCell<T> {}
+    unsafe impl<T: Send> Send for SendCell<T> {}
+
+    impl<T> SendCell<T> {
+        pub fn new(v: T) -> Self {
+            SendCell {
+                taken: AtomicBool::new(false),
+                value: UnsafeCell::new(Some(v)),
+            }
+        }
+
+        pub fn take(&self) -> T {
+            let was = self.taken.swap(true, Ordering::AcqRel);
+            assert!(!was, "SendCell taken twice");
+            // SAFETY: the swap above guarantees exclusive access.
+            unsafe { (*self.value.get()).take().expect("value present") }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{HpxSpace, Serial};
+    use amt::Runtime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn parallel_for_counts() {
+        let rt = Runtime::new(4);
+        for run_hpx in [false, true] {
+            let hits: Vec<AtomicU64> = (0..300).map(|_| AtomicU64::new(0)).collect();
+            let body = |i: usize| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            };
+            if run_hpx {
+                parallel_for(&HpxSpace::new(rt.handle()), RangePolicy::new(0, 300), body);
+            } else {
+                parallel_for(&Serial, RangePolicy::new(0, 300), body);
+            }
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallel_for_md_covers_cube() {
+        let rt = Runtime::new(2);
+        let hits: Vec<AtomicU64> = (0..8 * 8 * 8).map(|_| AtomicU64::new(0)).collect();
+        parallel_for_md(
+            &HpxSpace::new(rt.handle()),
+            MDRangePolicy::new([8, 8, 8]),
+            |i, j, k| {
+                hits[(i * 8 + j) * 8 + k].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reduce_sum_and_max() {
+        let rt = Runtime::new(3);
+        let hpx = HpxSpace::new(rt.handle());
+        let s = parallel_reduce_sum(&hpx, RangePolicy::new(1, 101), |i| i as f64);
+        assert_eq!(s, 5050.0);
+        let m = parallel_reduce_max(&hpx, RangePolicy::new(0, 100), |i| ((i * 37) % 91) as f64);
+        let want = (0..100).map(|i| ((i * 37) % 91) as f64).fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(m, want);
+    }
+
+    #[test]
+    fn reduce_custom_join_matches_serial() {
+        let rt = Runtime::new(4);
+        let hpx = HpxSpace::new(rt.handle());
+        let join = |a: (f64, u64), b: (f64, u64)| (a.0 + b.0, a.1 + b.1);
+        let map = |i: usize| (1.0 / (i + 1) as f64, 1u64);
+        let p = parallel_reduce(&hpx, RangePolicy::new(0, 10_000), (0.0, 0), map, join);
+        let s = parallel_reduce(&Serial, RangePolicy::new(0, 10_000), (0.0, 0), map, join);
+        assert_eq!(p.1, s.1);
+        assert!((p.0 - s.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scan_matches_sequential() {
+        let rt = Runtime::new(4);
+        let hpx = HpxSpace::new(rt.handle());
+        let mut a: Vec<f64> = (0..1000).map(|i| (i % 7) as f64).collect();
+        let mut b = a.clone();
+        parallel_scan_inclusive(&Serial, &mut a);
+        parallel_scan_inclusive(&hpx, &mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // Check against a hand scan.
+        let mut acc = 0.0;
+        for (i, x) in a.iter().enumerate() {
+            acc += (i % 7) as f64;
+            assert_eq!(*x, acc);
+        }
+    }
+
+    #[test]
+    fn scan_edge_cases() {
+        let rt = Runtime::new(2);
+        let hpx = HpxSpace::new(rt.handle());
+        let mut empty: Vec<f64> = vec![];
+        parallel_scan_inclusive(&hpx, &mut empty);
+        let mut one = vec![5.0];
+        parallel_scan_inclusive(&hpx, &mut one);
+        assert_eq!(one, vec![5.0]);
+        let mut small = vec![1.0, 2.0, 3.0];
+        parallel_scan_inclusive(&hpx, &mut small);
+        assert_eq!(small, vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_policies_are_noops() {
+        let rt = Runtime::new(2);
+        let hpx = HpxSpace::new(rt.handle());
+        let hits = AtomicU64::new(0);
+        parallel_for(&hpx, RangePolicy::new(5, 5), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 0);
+        let s = parallel_reduce_sum(&hpx, RangePolicy::new(5, 5), |_| 1.0);
+        assert_eq!(s, 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Execution policies describing kernel iteration spaces —
+//! `Kokkos::RangePolicy` and `Kokkos::MDRangePolicy`.
+
+/// 1-D iteration range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangePolicy {
+    /// First index (inclusive).
+    pub begin: usize,
+    /// One past the last index.
+    pub end: usize,
+}
+
+impl RangePolicy {
+    /// Policy over `[begin, end)`.
+    pub fn new(begin: usize, end: usize) -> Self {
+        assert!(begin <= end, "RangePolicy begin {begin} > end {end}");
+        RangePolicy { begin, end }
+    }
+
+    /// Number of iterations.
+    pub fn len(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// True for an empty range.
+    pub fn is_empty(&self) -> bool {
+        self.begin == self.end
+    }
+
+    /// The underlying `Range`.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.begin..self.end
+    }
+}
+
+impl From<std::ops::Range<usize>> for RangePolicy {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        RangePolicy::new(r.start, r.end)
+    }
+}
+
+/// 3-D iteration space, flattened row-major onto a 1-D range for dispatch
+/// (Kokkos tiles MDRange; on CPU row-major flattening gives the same
+/// traversal for our kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MDRangePolicy {
+    /// Extents per dimension.
+    pub dims: [usize; 3],
+}
+
+impl MDRangePolicy {
+    /// Policy over `dims[0] × dims[1] × dims[2]`.
+    pub fn new(dims: [usize; 3]) -> Self {
+        MDRangePolicy { dims }
+    }
+
+    /// Total iterations.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for a degenerate space.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Map a flat index back to `(i, j, k)`.
+    #[inline]
+    pub fn unflatten(&self, flat: usize) -> (usize, usize, usize) {
+        debug_assert!(flat < self.len());
+        let jk = self.dims[1] * self.dims[2];
+        let i = flat / jk;
+        let r = flat % jk;
+        (i, r / self.dims[2], r % self.dims[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_basics() {
+        let p = RangePolicy::new(2, 10);
+        assert_eq!(p.len(), 8);
+        assert!(!p.is_empty());
+        assert_eq!(p.range(), 2..10);
+        let q: RangePolicy = (0..0).into();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "begin 5 > end 3")]
+    fn inverted_range_rejected() {
+        let _ = RangePolicy::new(5, 3);
+    }
+
+    #[test]
+    fn mdrange_unflatten_bijective() {
+        let p = MDRangePolicy::new([3, 4, 5]);
+        assert_eq!(p.len(), 60);
+        let mut seen = std::collections::HashSet::new();
+        for flat in 0..p.len() {
+            let (i, j, k) = p.unflatten(flat);
+            assert!(i < 3 && j < 4 && k < 5);
+            assert!(seen.insert((i, j, k)));
+        }
+        assert_eq!(seen.len(), 60);
+    }
+
+    #[test]
+    fn mdrange_row_major_order() {
+        let p = MDRangePolicy::new([2, 2, 2]);
+        assert_eq!(p.unflatten(0), (0, 0, 0));
+        assert_eq!(p.unflatten(1), (0, 0, 1));
+        assert_eq!(p.unflatten(2), (0, 1, 0));
+        assert_eq!(p.unflatten(4), (1, 0, 0));
+    }
+
+    #[test]
+    fn empty_mdrange() {
+        assert!(MDRangePolicy::new([0, 4, 4]).is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! Portable SIMD pack type — the `Kokkos::Experimental::simd` /
+//! HPX-SIMD-types layer the paper's related work integrates for A64FX
+//! (SVE) and x86 (AVX) kernels.
+//!
+//! [`Simd<W>`] is a fixed-width pack of `f64` lanes whose operations are
+//! plain element-wise loops (LLVM vectorizes them on the host). The width a
+//! *target* architecture would use comes from [`natural_width`]: 8 for
+//! A64FX/Skylake AVX-512, 4 for the EPYC's AVX2, and **1 for the RISC-V
+//! boards**, which implement neither the V nor the P extension — the
+//! scalar-fallback case the paper highlights. On GPUs Kokkos maps the same
+//! type to scalars; `Simd<1>` is exactly that degenerate pack.
+
+use rv_machine::CpuArch;
+
+/// Pack of `W` f64 lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Simd<const W: usize>(pub [f64; W]);
+
+/// Lane count `arch` would compile this pack to (Table 2's vector length).
+pub fn natural_width(arch: CpuArch) -> usize {
+    arch.spec().vector.lanes() as usize
+}
+
+impl<const W: usize> Simd<W> {
+    /// All lanes equal to `v`.
+    #[inline]
+    pub fn splat(v: f64) -> Self {
+        Simd([v; W])
+    }
+
+    /// All-zero pack.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Load `W` consecutive lanes from `slice[offset..]`.
+    #[inline]
+    pub fn from_slice(slice: &[f64], offset: usize) -> Self {
+        let mut out = [0.0; W];
+        out.copy_from_slice(&slice[offset..offset + W]);
+        Simd(out)
+    }
+
+    /// Store lanes to `slice[offset..]`.
+    #[inline]
+    pub fn write_to(self, slice: &mut [f64], offset: usize) {
+        slice[offset..offset + W].copy_from_slice(&self.0);
+    }
+
+    /// Number of lanes.
+    #[inline]
+    pub const fn lanes() -> usize {
+        W
+    }
+
+    /// Lane `i`.
+    #[inline]
+    pub fn extract(self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Fused multiply-add: `self * b + c` per lane.
+    #[inline]
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = self.0[i].mul_add(b.0[i], c.0[i]);
+        }
+        Simd(out)
+    }
+
+    /// Horizontal sum of all lanes.
+    #[inline]
+    pub fn reduce_sum(self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Horizontal max of all lanes.
+    #[inline]
+    pub fn reduce_max(self) -> f64 {
+        self.0.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Lane-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = self.0[i].max(other.0[i]);
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = self.0[i].sqrt();
+        }
+        Simd(out)
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl<const W: usize> std::ops::$trait for Simd<W> {
+            type Output = Self;
+            #[inline]
+            fn $method(self, rhs: Self) -> Self {
+                let mut out = [0.0; W];
+                for i in 0..W {
+                    out[i] = self.0[i] $op rhs.0[i];
+                }
+                Simd(out)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl<const W: usize> std::ops::Neg for Simd<W> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        let mut out = [0.0; W];
+        for i in 0..W {
+            out[i] = -self.0[i];
+        }
+        Simd(out)
+    }
+}
+
+/// Sum `data` by packs of `W` with a scalar tail — the canonical
+/// explicitly-vectorized reduction kernel; with `W = 1` this is exactly the
+/// scalar code the RISC-V boards run.
+pub fn simd_sum<const W: usize>(data: &[f64]) -> f64 {
+    let mut acc = Simd::<W>::zero();
+    let packs = data.len() / W;
+    for p in 0..packs {
+        acc = acc + Simd::<W>::from_slice(data, p * W);
+    }
+    let mut total = acc.reduce_sum();
+    for &x in &data[packs * W..] {
+        total += x;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_widths_match_table2() {
+        assert_eq!(natural_width(CpuArch::A64fx), 8);
+        assert_eq!(natural_width(CpuArch::Epyc7543), 4);
+        assert_eq!(natural_width(CpuArch::XeonGold6140), 8);
+        assert_eq!(natural_width(CpuArch::RiscvU74), 1);
+        assert_eq!(natural_width(CpuArch::Jh7110), 1);
+    }
+
+    #[test]
+    fn arithmetic_lanewise() {
+        let a = Simd::<4>([1.0, 2.0, 3.0, 4.0]);
+        let b = Simd::<4>::splat(2.0);
+        assert_eq!((a + b).0, [3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a - b).0, [-1.0, 0.0, 1.0, 2.0]);
+        assert_eq!((a * b).0, [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!((a / b).0, [0.5, 1.0, 1.5, 2.0]);
+        assert_eq!((-a).0, [-1.0, -2.0, -3.0, -4.0]);
+    }
+
+    #[test]
+    fn fma_and_reductions() {
+        let a = Simd::<2>([2.0, 3.0]);
+        let r = a.mul_add(Simd::splat(10.0), Simd::splat(1.0));
+        assert_eq!(r.0, [21.0, 31.0]);
+        assert_eq!(r.reduce_sum(), 52.0);
+        assert_eq!(r.reduce_max(), 31.0);
+        assert_eq!(a.max(Simd([5.0, 1.0])).0, [5.0, 3.0]);
+    }
+
+    #[test]
+    fn sqrt_lanewise() {
+        let a = Simd::<2>([4.0, 9.0]).sqrt();
+        assert_eq!(a.0, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let src = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = Simd::<3>::from_slice(&src, 1);
+        assert_eq!(p.0, [2.0, 3.0, 4.0]);
+        let mut dst = [0.0; 5];
+        p.write_to(&mut dst, 2);
+        assert_eq!(dst, [0.0, 0.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.extract(2), 4.0);
+        assert_eq!(Simd::<3>::lanes(), 3);
+    }
+
+    #[test]
+    fn simd_sum_matches_scalar_any_width() {
+        let data: Vec<f64> = (0..103).map(|i| (i as f64) * 0.25).collect();
+        let want: f64 = data.iter().sum();
+        assert!((simd_sum::<1>(&data) - want).abs() < 1e-9);
+        assert!((simd_sum::<4>(&data) - want).abs() < 1e-9);
+        assert!((simd_sum::<8>(&data) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simd_sum_empty_and_tail_only() {
+        assert_eq!(simd_sum::<4>(&[]), 0.0);
+        assert_eq!(simd_sum::<4>(&[1.5, 2.5]), 4.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Memory-subsystem model.
+//!
+//! §6.2.1 of the paper observes that Octo-Tiger on the VisionFive2 is
+//! noticeably *more* than 5× slower than A64FX (≈7× in §6.2.2) because
+//! "with more memory usage, the slow connection to the memory appears to
+//! kick in and slows the overall simulation". The development boards have a
+//! single narrow LPDDR4/DDR4 channel, while the comparison CPUs have
+//! HBM2 (A64FX) or many DDR4 channels.
+//!
+//! We model this with a shared-bandwidth roofline: a workload phase that
+//! moves `bytes` of data and executes `flops` on `cores` cores takes
+//! `max(t_compute, t_memory)` where `t_memory = bytes / bw_effective` and
+//! the effective bandwidth saturates as more cores contend for the single
+//! memory controller.
+
+use crate::arch::CpuArch;
+use crate::cost::CostModel;
+
+/// Per-architecture memory model.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryModel {
+    arch: CpuArch,
+}
+
+impl MemoryModel {
+    /// Model for `arch`.
+    pub fn new(arch: CpuArch) -> Self {
+        MemoryModel { arch }
+    }
+
+    /// Effective bandwidth (GiB/s) visible to `cores` active cores.
+    ///
+    /// One core cannot saturate the controller (limited MLP — especially on
+    /// the in-order U74, which sustains roughly 55% of board bandwidth from
+    /// a single core); additional cores add bandwidth with diminishing
+    /// returns until the board limit.
+    pub fn effective_bandwidth_gib(&self, cores: u32) -> f64 {
+        let spec = self.arch.spec();
+        let peak = spec.mem_bandwidth_gib;
+        let single_core_fraction = if self.arch.is_riscv() { 0.55 } else { 0.35 };
+        let single = peak * single_core_fraction;
+        // Saturating growth: bw(c) = peak * (1 - (1 - f)^c)
+        let f = single / peak;
+        peak * (1.0 - (1.0 - f).powi(cores as i32))
+    }
+
+    /// Seconds to move `bytes` with `cores` active cores.
+    pub fn transfer_seconds(&self, bytes: u64, cores: u32) -> f64 {
+        let bw = self.effective_bandwidth_gib(cores.max(1)) * 1024.0 * 1024.0 * 1024.0;
+        bytes as f64 / bw
+    }
+
+    /// Roofline phase time: the larger of compute time (`flops` split over
+    /// `cores`) and memory time (`bytes` over shared bandwidth).
+    ///
+    /// In-order cores overlap compute and outstanding misses poorly, so for
+    /// the RISC-V boards a fraction of the smaller term leaks into the total.
+    pub fn phase_seconds(&self, flops: u64, bytes: u64, cores: u32) -> f64 {
+        let cores = cores.max(1);
+        let cm = CostModel::new(self.arch);
+        let t_comp = cm.flop_seconds(flops) / f64::from(cores);
+        let t_mem = self.transfer_seconds(bytes, cores);
+        let (hi, lo) = if t_comp >= t_mem {
+            (t_comp, t_mem)
+        } else {
+            (t_mem, t_comp)
+        };
+        let overlap_leak = if self.arch.is_riscv() { 0.35 } else { 0.10 };
+        hi + overlap_leak * lo
+    }
+
+    /// Arithmetic intensity (flops/byte) below which this architecture is
+    /// memory-bound at full core count.
+    pub fn ridge_point(&self) -> f64 {
+        let spec = self.arch.spec();
+        let cm = CostModel::new(self.arch);
+        let gflops = cm.sustained_scalar_gflops_per_core() * f64::from(spec.cores);
+        gflops / self.effective_bandwidth_gib(spec.cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_grows_with_cores_and_saturates() {
+        let m = MemoryModel::new(CpuArch::Jh7110);
+        let b1 = m.effective_bandwidth_gib(1);
+        let b2 = m.effective_bandwidth_gib(2);
+        let b4 = m.effective_bandwidth_gib(4);
+        assert!(b1 < b2 && b2 < b4);
+        assert!(b4 <= CpuArch::Jh7110.spec().mem_bandwidth_gib + 1e-9);
+        // diminishing returns
+        assert!(b2 - b1 > b4 - m.effective_bandwidth_gib(3));
+    }
+
+    #[test]
+    fn riscv_much_slower_for_memory_bound_work() {
+        // A memory-heavy phase (low arithmetic intensity) shows a larger
+        // RISC-V/A64FX gap than the compute-only ≈5×: the paper's ≈7×.
+        let bytes = 1 << 30; // 1 GiB traffic
+        let flops = 1 << 28; // 0.25 flop/byte
+        let t_rv = MemoryModel::new(CpuArch::Jh7110).phase_seconds(flops, bytes, 4);
+        let t_a64 = MemoryModel::new(CpuArch::A64fx).phase_seconds(flops, bytes, 4);
+        let ratio = t_rv / t_a64;
+        assert!(ratio > 5.0, "memory-bound gap {ratio} should exceed the ≈5× compute gap");
+    }
+
+    #[test]
+    fn compute_bound_phase_matches_flop_time() {
+        let m = MemoryModel::new(CpuArch::Epyc7543);
+        let flops = 1u64 << 32;
+        let bytes = 1u64 << 10; // negligible traffic
+        let t = m.phase_seconds(flops, bytes, 1);
+        let t_comp = CostModel::new(CpuArch::Epyc7543).flop_seconds(flops);
+        assert!((t - t_comp) / t_comp < 0.01);
+    }
+
+    #[test]
+    fn transfer_time_linear_in_bytes() {
+        let m = MemoryModel::new(CpuArch::RiscvU74);
+        let t1 = m.transfer_seconds(1 << 20, 2);
+        let t2 = m.transfer_seconds(1 << 21, 2);
+        assert!((t2 - 2.0 * t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ridge_point_positive_everywhere() {
+        for arch in CpuArch::ALL {
+            assert!(MemoryModel::new(arch).ridge_point() > 0.0, "{arch:?}");
+        }
+    }
+
+    #[test]
+    fn zero_cores_clamped_to_one() {
+        let m = MemoryModel::new(CpuArch::Jh7110);
+        assert_eq!(m.phase_seconds(1000, 1000, 0), m.phase_seconds(1000, 1000, 1));
+    }
+}

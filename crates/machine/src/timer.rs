@@ -1,0 +1,174 @@
+//! Timing support — the one place the HPX port needed a RISC-V-specific
+//! source change (paper §5, Listing 1).
+//!
+//! HPX offers a portable software timer (ISO C++, `std::chrono`) and
+//! hardware-supported timers that "require fewer instructions". The RISC-V
+//! port added an `RDTIME`-based implementation: `rdtime` is a pseudo-
+//! instruction reading the `time` CSR, which counts at a fixed *timebase*
+//! frequency (4 MHz on the JH7110/U74 platforms) independent of the core
+//! clock.
+//!
+//! [`RdTime`] models that counter — including its coarse 250 ns quantum —
+//! and [`SoftwareTimer`] models the portable fallback. Both implement
+//! [`Timer`], mirroring HPX's timer abstraction, and report their
+//! read-overhead in cycles so the cost model can charge them.
+
+use std::time::Instant;
+
+/// Abstract timer, as HPX's hardware/software timing facility.
+pub trait Timer {
+    /// Current counter value in ticks.
+    fn now_ticks(&self) -> u64;
+    /// Tick frequency in Hz.
+    fn frequency_hz(&self) -> u64;
+    /// Cycles a single read costs (hardware timers are cheaper — the point
+    /// of the paper's patch).
+    fn read_overhead_cycles(&self) -> u32;
+
+    /// Seconds between two tick readings.
+    fn seconds_between(&self, start: u64, end: u64) -> f64 {
+        (end.saturating_sub(start)) as f64 / self.frequency_hz() as f64
+    }
+}
+
+/// Model of the RISC-V `rdtime` CSR: a monotonic counter at the platform
+/// timebase frequency (default 4 MHz, the JH7110's `timebase-frequency`).
+#[derive(Debug)]
+pub struct RdTime {
+    origin: Instant,
+    timebase_hz: u64,
+}
+
+impl RdTime {
+    /// `rdtime` at the standard 4 MHz StarFive/SiFive timebase.
+    pub fn new() -> Self {
+        Self::with_timebase(4_000_000)
+    }
+
+    /// `rdtime` with an explicit timebase frequency.
+    pub fn with_timebase(timebase_hz: u64) -> Self {
+        assert!(timebase_hz > 0, "timebase must be positive");
+        RdTime {
+            origin: Instant::now(),
+            timebase_hz,
+        }
+    }
+}
+
+impl Default for RdTime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timer for RdTime {
+    fn now_ticks(&self) -> u64 {
+        let ns = self.origin.elapsed().as_nanos() as u64;
+        // Quantize to the timebase: the CSR only advances every
+        // 1e9/timebase ns (250 ns at 4 MHz).
+        ns / (1_000_000_000 / self.timebase_hz)
+    }
+
+    fn frequency_hz(&self) -> u64 {
+        self.timebase_hz
+    }
+
+    fn read_overhead_cycles(&self) -> u32 {
+        // One CSR read + register move.
+        5
+    }
+}
+
+/// The portable ISO-C++-style software timer HPX falls back to: full
+/// nanosecond resolution but a more expensive read path (vDSO call,
+/// conversion arithmetic).
+#[derive(Debug)]
+pub struct SoftwareTimer {
+    origin: Instant,
+}
+
+impl SoftwareTimer {
+    /// New software timer.
+    pub fn new() -> Self {
+        SoftwareTimer {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SoftwareTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timer for SoftwareTimer {
+    fn now_ticks(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    fn frequency_hz(&self) -> u64 {
+        1_000_000_000
+    }
+
+    fn read_overhead_cycles(&self) -> u32 {
+        40
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdtime_monotonic() {
+        let t = RdTime::new();
+        let a = t.now_ticks();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = t.now_ticks();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn rdtime_measures_real_time() {
+        let t = RdTime::new();
+        let a = t.now_ticks();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let b = t.now_ticks();
+        let secs = t.seconds_between(a, b);
+        assert!(secs >= 0.015 && secs < 0.5, "measured {secs}s for a 20ms sleep");
+    }
+
+    #[test]
+    fn rdtime_quantizes_to_timebase() {
+        // At a 10 Hz timebase, readings within 100 ms collapse to the same tick.
+        let t = RdTime::with_timebase(10);
+        let a = t.now_ticks();
+        let b = t.now_ticks();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hardware_timer_cheaper_than_software() {
+        assert!(RdTime::new().read_overhead_cycles() < SoftwareTimer::new().read_overhead_cycles());
+    }
+
+    #[test]
+    fn seconds_between_uses_frequency() {
+        let t = RdTime::with_timebase(4_000_000);
+        assert!((t.seconds_between(0, 4_000_000) - 1.0).abs() < 1e-12);
+        // saturating on reversed readings
+        assert_eq!(t.seconds_between(10, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timebase must be positive")]
+    fn zero_timebase_rejected() {
+        let _ = RdTime::with_timebase(0);
+    }
+
+    #[test]
+    fn software_timer_nanosecond_frequency() {
+        assert_eq!(SoftwareTimer::new().frequency_hz(), 1_000_000_000);
+    }
+}

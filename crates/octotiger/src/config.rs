@@ -1,0 +1,198 @@
+//! Run configuration — the CLI surface of the paper's Listings 2–3:
+//!
+//! ```text
+//! ./octotiger --config_file=rotating_star.ini --max_level=4 --stop_step=5
+//!             --theta=0.5 --multipole_host_kernel_type=KOKKOS
+//!             --monopole_host_kernel_type=KOKKOS --hydro_host_kernel_type=KOKKOS
+//!             --hpx:threads=4
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use crate::kernel_backend::KernelType;
+
+/// Full configuration of a rotating-star run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OctoConfig {
+    /// Maximum octree refinement level (`--max_level`, 4 in the paper).
+    pub max_level: u32,
+    /// Number of time steps to run (`--stop_step`, 5 in the paper).
+    pub stop_step: u32,
+    /// FMM opening-angle parameter (`--theta`, 0.5 in the paper).
+    pub theta: f64,
+    /// Hydro kernel backend (`--hydro_host_kernel_type`).
+    pub hydro_kernel: KernelType,
+    /// Multipole (far-field gravity) kernel backend
+    /// (`--multipole_host_kernel_type`).
+    pub multipole_kernel: KernelType,
+    /// Monopole (near-field gravity) kernel backend
+    /// (`--monopole_host_kernel_type`).
+    pub monopole_kernel: KernelType,
+    /// Worker threads (`--hpx:threads`).
+    pub threads: usize,
+    /// CFL safety factor for the hydro time step.
+    pub cfl: f64,
+    /// Density threshold (relative to the star's central density) above
+    /// which a region is refined.
+    pub refine_density_frac: f64,
+}
+
+impl Default for OctoConfig {
+    /// The paper's run: rotating star, level 4, 5 steps, θ = 0.5, all three
+    /// kernels KOKKOS, 4 threads.
+    fn default() -> Self {
+        OctoConfig {
+            max_level: 4,
+            stop_step: 5,
+            theta: 0.5,
+            hydro_kernel: KernelType::KokkosSerial,
+            multipole_kernel: KernelType::KokkosSerial,
+            monopole_kernel: KernelType::KokkosSerial,
+            threads: 4,
+            cfl: 0.4,
+            refine_density_frac: 1.0e-4,
+        }
+    }
+}
+
+impl OctoConfig {
+    /// The paper's node-level configuration with every kernel set to `k`.
+    pub fn with_all_kernels(k: KernelType) -> Self {
+        OctoConfig {
+            hydro_kernel: k,
+            multipole_kernel: k,
+            monopole_kernel: k,
+            ..Default::default()
+        }
+    }
+
+    /// A reduced configuration for fast unit tests.
+    pub fn small_test() -> Self {
+        OctoConfig {
+            max_level: 2,
+            stop_step: 2,
+            threads: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Parse a `--key=value` argument list (the paper runs everything from
+    /// the command line because the cluster has no job scheduler,
+    /// Appendix B). Unknown keys are ignored, like HPX's option forwarding.
+    pub fn from_args<'a>(args: impl IntoIterator<Item = &'a str>) -> Result<Self, String> {
+        let mut cfg = OctoConfig::default();
+        for arg in args {
+            let Some(rest) = arg.strip_prefix("--") else {
+                continue;
+            };
+            let Some((key, value)) = rest.split_once('=') else {
+                continue;
+            };
+            match key {
+                "max_level" => cfg.max_level = parse(key, value)?,
+                "stop_step" => cfg.stop_step = parse(key, value)?,
+                "theta" => cfg.theta = parse(key, value)?,
+                "cfl" => cfg.cfl = parse(key, value)?,
+                "hpx:threads" => cfg.threads = parse(key, value)?,
+                "hydro_host_kernel_type" => cfg.hydro_kernel = KernelType::parse(value)?,
+                "multipole_host_kernel_type" => cfg.multipole_kernel = KernelType::parse(value)?,
+                "monopole_host_kernel_type" => cfg.monopole_kernel = KernelType::parse(value)?,
+                _ => {}
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Check invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.theta) {
+            return Err(format!("theta {} outside [0, 1]", self.theta));
+        }
+        if self.cfl <= 0.0 || self.cfl >= 1.0 {
+            return Err(format!("cfl {} outside (0, 1)", self.cfl));
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1".into());
+        }
+        if self.max_level > 8 {
+            return Err(format!("max_level {} too deep for this mini-app", self.max_level));
+        }
+        Ok(())
+    }
+}
+
+fn parse<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value {value:?} for --{key}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_run() {
+        let c = OctoConfig::default();
+        assert_eq!(c.max_level, 4);
+        assert_eq!(c.stop_step, 5);
+        assert_eq!(c.theta, 0.5);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn parses_listing2_style_arguments() {
+        let c = OctoConfig::from_args([
+            "--config_file=rotating_star.ini",
+            "--max_level=4",
+            "--stop_step=5",
+            "--theta=0.5",
+            "--multipole_host_kernel_type=KOKKOS",
+            "--monopole_host_kernel_type=KOKKOS",
+            "--hydro_host_kernel_type=KOKKOS",
+            "--hpx:localities=2",
+            "--hpx:threads=4",
+        ])
+        .unwrap();
+        assert_eq!(c.max_level, 4);
+        assert_eq!(c.hydro_kernel, KernelType::KokkosSerial);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn parses_all_kernel_names() {
+        let c = OctoConfig::from_args([
+            "--hydro_host_kernel_type=LEGACY",
+            "--multipole_host_kernel_type=KOKKOS_HPX",
+            "--monopole_host_kernel_type=KOKKOS",
+        ])
+        .unwrap();
+        assert_eq!(c.hydro_kernel, KernelType::Legacy);
+        assert_eq!(c.multipole_kernel, KernelType::KokkosHpx);
+        assert_eq!(c.monopole_kernel, KernelType::KokkosSerial);
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(OctoConfig::from_args(["--max_level=zebra"]).is_err());
+        assert!(OctoConfig::from_args(["--theta=1.5"]).is_err());
+        assert!(OctoConfig::from_args(["--cfl=0"]).is_err());
+        assert!(OctoConfig::from_args(["--hpx:threads=0"]).is_err());
+        assert!(OctoConfig::from_args(["--hydro_host_kernel_type=CUDA"]).is_err());
+    }
+
+    #[test]
+    fn unknown_keys_ignored() {
+        let c = OctoConfig::from_args(["--hpx:agas=10.0.0.160:7910", "--hpx:worker"]).unwrap();
+        assert_eq!(c, OctoConfig::default());
+    }
+
+    #[test]
+    fn with_all_kernels_sets_all_three() {
+        let c = OctoConfig::with_all_kernels(KernelType::KokkosHpx);
+        assert_eq!(c.hydro_kernel, KernelType::KokkosHpx);
+        assert_eq!(c.multipole_kernel, KernelType::KokkosHpx);
+        assert_eq!(c.monopole_kernel, KernelType::KokkosHpx);
+    }
+}

@@ -1,0 +1,196 @@
+//! Kernel backend selection — the three configurations of the paper's
+//! Fig. 7 node-level scaling experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// How a compute kernel is dispatched on one sub-grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelType {
+    /// The "old" hand-written kernels predating the Kokkos port
+    /// (Octo-Tiger compiled without Kokkos).
+    Legacy,
+    /// Kokkos kernels in the Serial execution space: each kernel invocation
+    /// runs inline on the calling task's core; multicore utilization comes
+    /// from concurrent per-sub-grid kernel launches. The paper found this
+    /// *fastest* on the 4-core boards (§6.2.1).
+    KokkosSerial,
+    /// Kokkos kernels in the HPX execution space: each kernel is split into
+    /// further `amt` tasks.
+    KokkosHpx,
+}
+
+impl KernelType {
+    /// All three Fig. 7 configurations, in the figure's legend order.
+    pub const ALL: [KernelType; 3] = [
+        KernelType::Legacy,
+        KernelType::KokkosSerial,
+        KernelType::KokkosHpx,
+    ];
+
+    /// Parse the paper's CLI spelling (`KOKKOS` means the Kokkos kernels
+    /// with the Serial host execution space, the configuration of
+    /// Listings 2–3).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "LEGACY" | "OLD" => Ok(KernelType::Legacy),
+            "KOKKOS" | "KOKKOS_SERIAL" => Ok(KernelType::KokkosSerial),
+            "KOKKOS_HPX" => Ok(KernelType::KokkosHpx),
+            other => Err(format!("unknown kernel type {other:?}")),
+        }
+    }
+
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelType::Legacy => "HPX (no Kokkos)",
+            KernelType::KokkosSerial => "Kokkos Serial space",
+            KernelType::KokkosHpx => "Kokkos HPX space",
+        }
+    }
+}
+
+/// Runtime dispatcher for one kernel backend. Built once per run from the
+/// configured [`KernelType`]; all Octo-Tiger kernels (hydro, multipole,
+/// monopole) funnel their per-cell loops through it, so switching the CLI
+/// flag really switches the execution path, as in the paper.
+#[derive(Clone)]
+pub enum Dispatch {
+    /// Hand-written loops, no Kokkos involved.
+    Legacy,
+    /// Kokkos kernels on the Serial execution space.
+    KokkosSerial,
+    /// Kokkos kernels on the HPX execution space (kernel split into tasks).
+    KokkosHpx(kokkos_lite::HpxSpace),
+}
+
+impl Dispatch {
+    /// Build the dispatcher for `kind`. `handle` is only used by the HPX
+    /// execution space; `tasks_per_kernel` is the §3.2 knob (the paper's
+    /// 4-core boards want a handful of tasks per kernel).
+    pub fn new(kind: KernelType, handle: &amt::Handle, tasks_per_kernel: usize) -> Self {
+        match kind {
+            KernelType::Legacy => Dispatch::Legacy,
+            KernelType::KokkosSerial => Dispatch::KokkosSerial,
+            KernelType::KokkosHpx => {
+                Dispatch::KokkosHpx(kokkos_lite::HpxSpace::with_chunks(
+                    handle.clone(),
+                    tasks_per_kernel.max(1),
+                ))
+            }
+        }
+    }
+
+    /// The backend this dispatcher was built for.
+    pub fn kind(&self) -> KernelType {
+        match self {
+            Dispatch::Legacy => KernelType::Legacy,
+            Dispatch::KokkosSerial => KernelType::KokkosSerial,
+            Dispatch::KokkosHpx(_) => KernelType::KokkosHpx,
+        }
+    }
+
+    /// Elementwise kernel: `out[i] = f(i)`.
+    pub fn fill<T, F>(&self, out: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Send + Sync,
+    {
+        match self {
+            Dispatch::Legacy => {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = f(i);
+                }
+            }
+            Dispatch::KokkosSerial => kokkos_lite::parallel_fill(&kokkos_lite::Serial, out, f),
+            Dispatch::KokkosHpx(space) => kokkos_lite::parallel_fill(space, out, f),
+        }
+    }
+
+    /// Max-reduction kernel over `0..n`.
+    pub fn reduce_max<F>(&self, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Send + Sync,
+    {
+        match self {
+            Dispatch::Legacy => (0..n).map(f).fold(f64::NEG_INFINITY, f64::max),
+            Dispatch::KokkosSerial => kokkos_lite::parallel_reduce_max(
+                &kokkos_lite::Serial,
+                kokkos_lite::RangePolicy::new(0, n),
+                f,
+            ),
+            Dispatch::KokkosHpx(space) => {
+                kokkos_lite::parallel_reduce_max(space, kokkos_lite::RangePolicy::new(0, n), f)
+            }
+        }
+    }
+
+    /// Sum-reduction kernel over `0..n`.
+    pub fn reduce_sum<F>(&self, n: usize, f: F) -> f64
+    where
+        F: Fn(usize) -> f64 + Send + Sync,
+    {
+        match self {
+            Dispatch::Legacy => (0..n).map(f).sum(),
+            Dispatch::KokkosSerial => kokkos_lite::parallel_reduce_sum(
+                &kokkos_lite::Serial,
+                kokkos_lite::RangePolicy::new(0, n),
+                f,
+            ),
+            Dispatch::KokkosHpx(space) => {
+                kokkos_lite::parallel_reduce_sum(space, kokkos_lite::RangePolicy::new(0, n), f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        assert_eq!(KernelType::parse("KOKKOS").unwrap(), KernelType::KokkosSerial);
+        assert_eq!(KernelType::parse("KOKKOS_HPX").unwrap(), KernelType::KokkosHpx);
+        assert_eq!(KernelType::parse("LEGACY").unwrap(), KernelType::Legacy);
+        assert!(KernelType::parse("CUDA").is_err());
+    }
+
+    #[test]
+    fn labels_distinct() {
+        let mut labels: Vec<_> = KernelType::ALL.iter().map(|k| k.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+
+    #[test]
+    fn all_dispatchers_compute_the_same() {
+        let rt = amt::Runtime::new(2);
+        for kind in KernelType::ALL {
+            let d = Dispatch::new(kind, &rt.handle(), 4);
+            assert_eq!(d.kind(), kind);
+            let mut out = vec![0u64; 100];
+            d.fill(&mut out, |i| (i * i) as u64);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+            let m = d.reduce_max(100, |i| ((i * 37) % 91) as f64);
+            assert_eq!(m, 90.0);
+            let s = d.reduce_sum(101, |i| i as f64);
+            assert_eq!(s, 5050.0);
+        }
+    }
+
+    #[test]
+    fn kokkos_hpx_dispatch_spawns_tasks() {
+        let rt = amt::Runtime::new(2);
+        rt.reset_stats();
+        let d = Dispatch::new(KernelType::KokkosHpx, &rt.handle(), 8);
+        let mut out = vec![0.0f64; 4096];
+        d.fill(&mut out, |i| i as f64);
+        assert!(rt.stats().tasks_spawned > 0);
+
+        rt.reset_stats();
+        let ser = Dispatch::new(KernelType::KokkosSerial, &rt.handle(), 8);
+        ser.fill(&mut out, |i| i as f64);
+        assert_eq!(rt.stats().tasks_spawned, 0, "Serial space spawns nothing");
+    }
+}

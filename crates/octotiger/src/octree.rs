@@ -1,0 +1,642 @@
+//! The adaptive octree — Octo-Tiger's central data structure (paper §3.3):
+//! a tree over the cubic domain whose *leaves* carry 8×8×8 sub-grids, refined
+//! where the star's mass sits, with 2:1 level grading between face
+//! neighbours.
+//!
+//! In real Octo-Tiger every tree node is an HPX component; here the tree is
+//! the node-level structure, and `dist_driver` layers the component/locality
+//! split on top.
+
+use std::collections::HashMap;
+
+use crate::config::OctoConfig;
+use crate::star::{InitialModel, RotatingStar, NF};
+use crate::subgrid::{Face, SubGrid, NG, NX};
+
+/// Index of a node within the tree arena.
+pub type NodeId = usize;
+
+/// One octree node. Only leaves own a [`SubGrid`].
+#[derive(Debug)]
+pub struct Node {
+    /// Refinement level (root = 0).
+    pub level: u32,
+    /// Integer position of the node within its level (0..2^level per axis).
+    pub coords: [u32; 3],
+    /// Parent node (None for the root).
+    pub parent: Option<NodeId>,
+    /// Children in z-major order (index = 4x + 2y + z), if refined.
+    pub children: Option<[NodeId; 8]>,
+    /// Field data (leaves only).
+    pub subgrid: Option<SubGrid>,
+}
+
+/// The adaptive octree over `[-L, L]³`.
+#[derive(Debug)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    leaves: Vec<NodeId>,
+    index: HashMap<(u32, [u32; 3]), NodeId>,
+    domain_half: f64,
+    max_level: u32,
+}
+
+impl Octree {
+    /// Build the tree for `star` under `config` (the paper's single
+    /// rotating star).
+    pub fn build(star: &RotatingStar, config: &OctoConfig, domain_half: f64) -> Self {
+        Self::build_with_model(star, config, domain_half)
+    }
+
+    /// Build the tree for any [`InitialModel`]: refine wherever the model's
+    /// density exceeds `refine_density_frac × ρ_ref` down to `max_level`,
+    /// enforce 2:1 face grading, then allocate and initialize leaf
+    /// sub-grids.
+    pub fn build_with_model<M: InitialModel>(
+        star: &M,
+        config: &OctoConfig,
+        domain_half: f64,
+    ) -> Self {
+        assert!(domain_half > 0.0);
+        let mut tree = Octree {
+            nodes: Vec::new(),
+            leaves: Vec::new(),
+            index: HashMap::new(),
+            domain_half,
+            max_level: config.max_level,
+        };
+        let root = tree.push_node(0, [0, 0, 0], None);
+        // Density-driven refinement.
+        let threshold = config.refine_density_frac * star.reference_density();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let (level, coords) = (tree.nodes[id].level, tree.nodes[id].coords);
+            if level < config.max_level && tree.region_max_density(star, level, coords) > threshold
+            {
+                for child in tree.refine(id) {
+                    stack.push(child);
+                }
+            }
+        }
+        tree.enforce_balance();
+        tree.collect_leaves();
+        // Allocate + initialize leaf sub-grids.
+        for &leaf in &tree.leaves.clone() {
+            let (origin, dx) = tree.node_geometry(leaf);
+            let mut grid = SubGrid::new(origin, dx);
+            grid.init_from_model(star);
+            tree.nodes[leaf].subgrid = Some(grid);
+        }
+        tree
+    }
+
+    fn push_node(&mut self, level: u32, coords: [u32; 3], parent: Option<NodeId>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            level,
+            coords,
+            parent,
+            children: None,
+            subgrid: None,
+        });
+        self.index.insert((level, coords), id);
+        id
+    }
+
+    fn refine(&mut self, id: NodeId) -> [NodeId; 8] {
+        assert!(self.nodes[id].children.is_none(), "node already refined");
+        let (level, c) = (self.nodes[id].level, self.nodes[id].coords);
+        let mut kids = [0; 8];
+        for (n, kid) in kids.iter_mut().enumerate() {
+            let d = [(n >> 2) as u32 & 1, (n >> 1) as u32 & 1, n as u32 & 1];
+            *kid = self.push_node(
+                level + 1,
+                [2 * c[0] + d[0], 2 * c[1] + d[1], 2 * c[2] + d[2]],
+                Some(id),
+            );
+        }
+        self.nodes[id].children = Some(kids);
+        kids
+    }
+
+    /// Max model density sampled on a 5³ lattice over the node's region.
+    fn region_max_density<M: InitialModel>(&self, star: &M, level: u32, coords: [u32; 3]) -> f64 {
+        let size = self.node_size(level);
+        let origin = self.node_origin(level, coords);
+        let mut max = 0.0f64;
+        let samples = 5;
+        for a in 0..samples {
+            for b in 0..samples {
+                for c in 0..samples {
+                    let p = [
+                        origin[0] + size * (a as f64 + 0.5) / samples as f64,
+                        origin[1] + size * (b as f64 + 0.5) / samples as f64,
+                        origin[2] + size * (c as f64 + 0.5) / samples as f64,
+                    ];
+                    max = max.max(star.density_at(p[0], p[1], p[2]));
+                }
+            }
+        }
+        max
+    }
+
+    /// Enforce 2:1 grading: every refined node's face neighbours (at the
+    /// node's own level) must exist as tree nodes; refine coarser leaves
+    /// until they do.
+    fn enforce_balance(&mut self) {
+        loop {
+            let mut to_refine = Vec::new();
+            for id in 0..self.nodes.len() {
+                if self.nodes[id].children.is_none() {
+                    continue;
+                }
+                let (level, coords) = (self.nodes[id].level, self.nodes[id].coords);
+                for face in Face::ALL {
+                    if let Some(nc) = self.neighbor_coords(level, coords, face) {
+                        if self.index.contains_key(&(level, nc)) {
+                            continue;
+                        }
+                        // Find the covering leaf (some strict ancestor of
+                        // the missing position) and mark it.
+                        let cover = self.deepest_node_at(level, nc);
+                        if self.nodes[cover].children.is_none() && !to_refine.contains(&cover) {
+                            to_refine.push(cover);
+                        }
+                    }
+                }
+            }
+            if to_refine.is_empty() {
+                return;
+            }
+            for id in to_refine {
+                if self.nodes[id].children.is_none() {
+                    self.refine(id);
+                }
+            }
+        }
+    }
+
+    /// Deepest existing node whose region contains the position
+    /// `(level, coords)` (may be that node itself).
+    fn deepest_node_at(&self, level: u32, coords: [u32; 3]) -> NodeId {
+        let mut l = level;
+        let mut c = coords;
+        loop {
+            if let Some(&id) = self.index.get(&(l, c)) {
+                return id;
+            }
+            assert!(l > 0, "root must exist");
+            l -= 1;
+            c = [c[0] / 2, c[1] / 2, c[2] / 2];
+        }
+    }
+
+    /// Same-level neighbour coordinates across `face`, or `None` at the
+    /// domain boundary.
+    pub fn neighbor_coords(&self, level: u32, coords: [u32; 3], face: Face) -> Option<[u32; 3]> {
+        let n = 1u32 << level;
+        let axis = face.axis();
+        let mut c = coords;
+        match face.sign() {
+            -1 => {
+                if c[axis] == 0 {
+                    return None;
+                }
+                c[axis] -= 1;
+            }
+            _ => {
+                if c[axis] + 1 >= n {
+                    return None;
+                }
+                c[axis] += 1;
+            }
+        }
+        Some(c)
+    }
+
+    fn collect_leaves(&mut self) {
+        let mut leaves: Vec<NodeId> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_none())
+            .collect();
+        // Deterministic order: by (level, Morton-ish coords).
+        leaves.sort_by_key(|&i| {
+            let n = &self.nodes[i];
+            (n.level, n.coords[0], n.coords[1], n.coords[2])
+        });
+        self.leaves = leaves;
+    }
+
+    /// Edge length of a node at `level`.
+    pub fn node_size(&self, level: u32) -> f64 {
+        2.0 * self.domain_half / f64::from(1u32 << level)
+    }
+
+    fn node_origin(&self, level: u32, coords: [u32; 3]) -> [f64; 3] {
+        let size = self.node_size(level);
+        [
+            -self.domain_half + f64::from(coords[0]) * size,
+            -self.domain_half + f64::from(coords[1]) * size,
+            -self.domain_half + f64::from(coords[2]) * size,
+        ]
+    }
+
+    /// (origin, cell width) of a node's sub-grid.
+    pub fn node_geometry(&self, id: NodeId) -> ([f64; 3], f64) {
+        let n = &self.nodes[id];
+        let origin = self.node_origin(n.level, n.coords);
+        (origin, self.node_size(n.level) / NX as f64)
+    }
+
+    /// Leaf ids in deterministic order.
+    pub fn leaf_ids(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Total interior cells (`leaves × 512` — the paper's "606208 cells"
+    /// metric for level 4).
+    pub fn cell_count(&self) -> usize {
+        self.leaves.len() * crate::subgrid::CELLS
+    }
+
+    /// Total node count (internal + leaves).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a leaf's sub-grid.
+    pub fn subgrid_mut(&mut self, id: NodeId) -> &mut SubGrid {
+        self.nodes[id]
+            .subgrid
+            .as_mut()
+            .expect("node is not a leaf with data")
+    }
+
+    /// Immutable access to a leaf's sub-grid.
+    pub fn subgrid(&self, id: NodeId) -> &SubGrid {
+        self.nodes[id]
+            .subgrid
+            .as_ref()
+            .expect("node is not a leaf with data")
+    }
+
+    /// Maximum refinement level present.
+    pub fn deepest_level(&self) -> u32 {
+        self.leaves
+            .iter()
+            .map(|&l| self.nodes[l].level)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Locate the leaf containing physical position `p` (clamped into the
+    /// domain) and return `(leaf, cell index)`.
+    pub fn locate(&self, p: [f64; 3]) -> (NodeId, [usize; 3]) {
+        let eps = 1e-12;
+        let clamp = |x: f64| x.clamp(-self.domain_half + eps, self.domain_half - eps);
+        let q = [clamp(p[0]), clamp(p[1]), clamp(p[2])];
+        let mut id = self.index[&(0, [0, 0, 0])];
+        while let Some(children) = self.nodes[id].children {
+            let n = &self.nodes[id];
+            let size = self.node_size(n.level);
+            let origin = self.node_origin(n.level, n.coords);
+            let half = size / 2.0;
+            let ix = usize::from(q[0] >= origin[0] + half);
+            let iy = usize::from(q[1] >= origin[1] + half);
+            let iz = usize::from(q[2] >= origin[2] + half);
+            id = children[4 * ix + 2 * iy + iz];
+        }
+        let (origin, dx) = self.node_geometry(id);
+        let cell = |x: f64, o: f64| (((x - o) / dx) as usize).min(NX - 1);
+        (id, [cell(q[0], origin[0]), cell(q[1], origin[1]), cell(q[2], origin[2])])
+    }
+
+    /// Sample conserved field `f` at physical position `p` (piecewise
+    /// constant).
+    pub fn sample(&self, f: usize, p: [f64; 3]) -> f64 {
+        let (leaf, c) = self.locate(p);
+        self.subgrid(leaf)
+            .at(f, c[0] as i64, c[1] as i64, c[2] as i64)
+    }
+
+    /// Ghost data for one face of one leaf (read-only; apply with
+    /// [`Octree::apply_ghost`]). Uses the fast same-level slab copy when the
+    /// face neighbour is a same-level leaf, physical sampling (handling
+    /// coarse neighbours, fine neighbours and the outflow domain boundary)
+    /// otherwise.
+    pub fn ghost_data_for(&self, leaf: NodeId, face: Face) -> Vec<f64> {
+        let node = &self.nodes[leaf];
+        if let Some(nc) = self.neighbor_coords(node.level, node.coords, face) {
+            if let Some(&nid) = self.index.get(&(node.level, nc)) {
+                if self.nodes[nid].children.is_none() {
+                    return self.subgrid(nid).face_slab(face.opposite());
+                }
+            }
+        }
+        // Generic path: sample every ghost cell position.
+        let grid = self.subgrid(leaf);
+        let mut out = Vec::with_capacity(NF * NG * NX * NX);
+        for f in 0..NF {
+            for d in 0..NG as i64 {
+                for a in 0..NX as i64 {
+                    for b in 0..NX as i64 {
+                        let (i, j, k) = ghost_index(face, d, a, b);
+                        let p = grid.cell_center(i, j, k);
+                        out.push(self.sample(f, p));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether [`Octree::ghost_data_for`] can use the fast same-level slab
+    /// copy for this face (false = per-cell tree-descent sampling, the
+    /// latency-bound path the machine model charges per sample).
+    pub fn ghost_fast_path(&self, leaf: NodeId, face: Face) -> bool {
+        let node = &self.nodes[leaf];
+        if let Some(nc) = self.neighbor_coords(node.level, node.coords, face) {
+            if let Some(&nid) = self.index.get(&(node.level, nc)) {
+                return self.nodes[nid].children.is_none();
+            }
+        }
+        false
+    }
+
+    /// Install ghost data produced by [`Octree::ghost_data_for`].
+    pub fn apply_ghost(&mut self, leaf: NodeId, face: Face, data: &[f64]) {
+        self.subgrid_mut(leaf).set_ghost_slab(face, data);
+    }
+
+    /// Fill every leaf's face ghosts (sequential reference version; the
+    /// driver runs the gather phase as parallel tasks).
+    pub fn fill_ghosts(&mut self) {
+        let work: Vec<(NodeId, Face, Vec<f64>)> = self
+            .leaves
+            .clone()
+            .into_iter()
+            .flat_map(|leaf| {
+                Face::ALL
+                    .into_iter()
+                    .map(move |face| (leaf, face))
+                    .collect::<Vec<_>>()
+            })
+            .map(|(leaf, face)| (leaf, face, self.ghost_data_for(leaf, face)))
+            .collect();
+        for (leaf, face, data) in work {
+            self.apply_ghost(leaf, face, &data);
+        }
+    }
+
+    /// Total mass over all leaves (conservation diagnostics).
+    pub fn total_mass(&self) -> f64 {
+        self.leaves.iter().map(|&l| self.subgrid(l).mass()).sum()
+    }
+
+    /// Volume integral of an arbitrary field over all leaves.
+    pub fn total_integral(&self, f: usize) -> f64 {
+        self.leaves
+            .iter()
+            .map(|&l| self.subgrid(l).integral(f))
+            .sum()
+    }
+
+    /// Verify the 2:1 grading invariant by brute force (test helper).
+    pub fn is_balanced(&self) -> bool {
+        for &leaf in &self.leaves {
+            let n = &self.nodes[leaf];
+            let (origin, _) = self.node_geometry(leaf);
+            let size = self.node_size(n.level);
+            // Probe points just across each face.
+            for face in Face::ALL {
+                let mut p = [
+                    origin[0] + size / 2.0,
+                    origin[1] + size / 2.0,
+                    origin[2] + size / 2.0,
+                ];
+                p[face.axis()] += face.sign() as f64 * (size / 2.0 + size / 16.0);
+                if p[face.axis()].abs() >= self.domain_half {
+                    continue;
+                }
+                let (nl, _) = self.locate(p);
+                let diff = i64::from(self.nodes[nl].level) - i64::from(n.level);
+                if diff.abs() > 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The configured maximum refinement level.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Domain half-width L (domain is `[-L, L]³`).
+    pub fn domain_half(&self) -> f64 {
+        self.domain_half
+    }
+}
+
+/// Ghost-cell index for layer `d` (nearest first), transverse `(a, b)`.
+fn ghost_index(face: Face, d: i64, a: i64, b: i64) -> (i64, i64, i64) {
+    let n = NX as i64;
+    let normal = match face.sign() {
+        -1 => -1 - d,
+        _ => n + d,
+    };
+    match face.axis() {
+        0 => (normal, a, b),
+        1 => (a, normal, b),
+        _ => (a, b, normal),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star::field;
+
+    fn small_tree(max_level: u32) -> Octree {
+        let star = RotatingStar::paper_default();
+        let cfg = OctoConfig {
+            max_level,
+            ..OctoConfig::default()
+        };
+        Octree::build(&star, &cfg, 1.0)
+    }
+
+    #[test]
+    fn level_zero_is_a_single_leaf() {
+        let t = small_tree(0);
+        assert_eq!(t.leaf_count(), 1);
+        assert_eq!(t.cell_count(), 512);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn refinement_grows_with_level() {
+        let c1 = small_tree(1).leaf_count();
+        let c2 = small_tree(2).leaf_count();
+        let c3 = small_tree(3).leaf_count();
+        assert!(c1 < c2 && c2 < c3, "{c1} {c2} {c3}");
+        assert_eq!(small_tree(1).deepest_level(), 1);
+        assert_eq!(small_tree(3).deepest_level(), 3);
+    }
+
+    #[test]
+    fn tree_is_balanced() {
+        for level in 1..=3 {
+            assert!(small_tree(level).is_balanced(), "level {level}");
+        }
+    }
+
+    #[test]
+    fn leaves_tile_the_domain() {
+        // Total leaf volume must equal the domain volume.
+        let t = small_tree(3);
+        let vol: f64 = t
+            .leaf_ids()
+            .iter()
+            .map(|&l| t.node_size(t.node(l).level).powi(3))
+            .sum();
+        assert!((vol - 8.0).abs() < 1e-9, "domain [-1,1]³ has volume 8");
+    }
+
+    #[test]
+    fn locate_finds_containing_leaf() {
+        let t = small_tree(3);
+        for p in [[0.0, 0.0, 0.0], [0.5, -0.3, 0.2], [-0.99, 0.99, 0.0]] {
+            let (leaf, cell) = t.locate(p);
+            let (origin, dx) = t.node_geometry(leaf);
+            for d in 0..3 {
+                let lo = origin[d] + cell[d] as f64 * dx;
+                assert!(p[d] >= lo - 1e-9 && p[d] <= lo + dx + 1e-9, "{p:?} axis {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn locate_clamps_outside_points() {
+        let t = small_tree(1);
+        let (_, cell) = t.locate([5.0, 5.0, 5.0]);
+        assert!(cell.iter().all(|&c| c < NX));
+    }
+
+    #[test]
+    fn sample_matches_star_density() {
+        let t = small_tree(3);
+        let star = RotatingStar::paper_default();
+        // At a point deep inside the star the sampled cell density should be
+        // close to the analytic value (cell-center discretization error).
+        let p = [0.1, 0.05, -0.08];
+        let rho = t.sample(field::RHO, p);
+        let want = star.density((p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt());
+        assert!((rho - want).abs() / want < 0.1, "{rho} vs {want}");
+    }
+
+    #[test]
+    fn total_mass_close_to_star_mass() {
+        let t = small_tree(3);
+        let star = RotatingStar::paper_default();
+        let m = t.total_mass();
+        assert!(
+            ((m - star.mass) / star.mass).abs() < 0.05,
+            "grid mass {m} vs star mass {}",
+            star.mass
+        );
+    }
+
+    #[test]
+    fn ghost_fill_matches_neighbors_across_same_level_faces() {
+        let mut t = small_tree(2);
+        t.fill_ghosts();
+        // Pick a leaf with a same-level neighbor and check ghost == neighbor
+        // interior.
+        let leaves = t.leaf_ids().to_vec();
+        let mut checked = 0;
+        for &leaf in &leaves {
+            let n = t.node(leaf);
+            let (level, coords) = (n.level, n.coords);
+            for face in Face::ALL {
+                let Some(nc) = t.neighbor_coords(level, coords, face) else {
+                    continue;
+                };
+                let Some(&nid) = t.index.get(&(level, nc)) else {
+                    continue;
+                };
+                if t.node(nid).children.is_some() {
+                    continue;
+                }
+                // ghost layer 0 equals neighbor's boundary layer.
+                let g = t.subgrid(leaf);
+                let ng = t.subgrid(nid);
+                let (i, j, k) = super::ghost_index(face, 0, 3, 4);
+                let p = g.cell_center(i, j, k);
+                let r = ng.at(field::RHO, {
+                    let (origin, dx) = t.node_geometry(nid);
+                    ((p[0] - origin[0]) / dx) as i64
+                }, ((p[1] - t.node_geometry(nid).0[1]) / t.node_geometry(nid).1) as i64,
+                   ((p[2] - t.node_geometry(nid).0[2]) / t.node_geometry(nid).1) as i64);
+                assert_eq!(g.at(field::RHO, i, j, k), r);
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no same-level faces checked");
+    }
+
+    #[test]
+    fn ghost_fill_boundary_is_outflow() {
+        // Level-0 tree: all ghosts come from the domain boundary (clamped
+        // sampling = copy of the edge cells).
+        let mut t = small_tree(0);
+        t.fill_ghosts();
+        let g = t.subgrid(t.leaf_ids()[0]);
+        for a in 0..NX as i64 {
+            for b in 0..NX as i64 {
+                assert_eq!(
+                    g.at(field::RHO, -1, a, b),
+                    g.at(field::RHO, 0, a, b),
+                    "XM outflow"
+                );
+                assert_eq!(
+                    g.at(field::RHO, NX as i64, a, b),
+                    g.at(field::RHO, NX as i64 - 1, a, b),
+                    "XP outflow"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level4_tree_is_paper_scale() {
+        // The paper's level-4 rotating star has 1184 leaves / 606208 cells;
+        // our star/refinement should land in the same order of magnitude.
+        let t = small_tree(4);
+        let leaves = t.leaf_count();
+        assert!(
+            (300..4096).contains(&leaves),
+            "level-4 leaf count {leaves} should be paper-scale (~1184)"
+        );
+        assert_eq!(t.cell_count(), leaves * 512);
+    }
+
+    #[test]
+    fn neighbor_coords_domain_edges() {
+        let t = small_tree(1);
+        assert_eq!(t.neighbor_coords(1, [0, 0, 0], Face::XM), None);
+        assert_eq!(t.neighbor_coords(1, [0, 0, 0], Face::XP), Some([1, 0, 0]));
+        assert_eq!(t.neighbor_coords(1, [1, 1, 1], Face::ZP), None);
+        assert_eq!(t.neighbor_coords(0, [0, 0, 0], Face::YP), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! Buffer recycling — the reproduction's stand-in for **cppuddle**
+//! (Table 1 of the paper lists it in Octo-Tiger's toolchain): a pool that
+//! hands kernel scratch buffers back out instead of re-allocating them for
+//! every one of the thousands of per-sub-grid kernel launches each step.
+//!
+//! The pool is size-bucketed and thread-safe; buffers are returned
+//! explicitly (RAII would hide the pool handle inside the buffer type and
+//! complicate crossing task boundaries, which is exactly where these
+//! buffers travel).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// A recycling pool of `Vec<T>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct RecyclePool<T> {
+    free: Mutex<HashMap<usize, Vec<Vec<T>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Pool statistics (reuse effectiveness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers served from the free list.
+    pub hits: u64,
+    /// Buffers that had to be freshly allocated.
+    pub misses: u64,
+}
+
+impl<T: Clone + Default> RecyclePool<T> {
+    /// Empty pool.
+    pub fn new() -> Self {
+        RecyclePool {
+            free: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquire a buffer of exactly `len` default-valued elements, reusing a
+    /// previously released one when available.
+    pub fn acquire(&self, len: usize) -> Vec<T> {
+        let recycled = self.free.lock().get_mut(&len).and_then(Vec::pop);
+        match recycled {
+            Some(mut buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, T::default());
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                vec![T::default(); len]
+            }
+        }
+    }
+
+    /// Return a buffer for future reuse (its capacity is what's recycled).
+    pub fn release(&self, buf: Vec<T>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free.lock().entry(buf.capacity()).or_default().push(buf);
+    }
+
+    /// Reuse statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Buffers currently parked in the pool.
+    pub fn parked(&self) -> usize {
+        self.free.lock().values().map(Vec::len).sum()
+    }
+
+    /// Drop every parked buffer (memory pressure relief).
+    pub fn clear(&self) {
+        self.free.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn second_acquire_reuses_first_release() {
+        let pool: RecyclePool<f64> = RecyclePool::new();
+        let a = pool.acquire(512);
+        pool.release(a);
+        let b = pool.acquire(512);
+        assert_eq!(b.len(), 512);
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn reused_buffers_come_back_zeroed() {
+        let pool: RecyclePool<u64> = RecyclePool::new();
+        let mut a = pool.acquire(16);
+        a.iter_mut().for_each(|x| *x = 7);
+        pool.release(a);
+        let b = pool.acquire(16);
+        assert!(b.iter().all(|&x| x == 0), "recycled buffer must be reset");
+    }
+
+    #[test]
+    fn different_sizes_use_different_buckets() {
+        let pool: RecyclePool<f64> = RecyclePool::new();
+        pool.release(vec![0.0; 100]);
+        let _ = pool.acquire(200);
+        assert_eq!(pool.stats().misses, 1, "size mismatch cannot be served");
+        assert_eq!(pool.parked(), 1, "the 100-element buffer stays parked");
+    }
+
+    #[test]
+    fn clear_empties_the_pool() {
+        let pool: RecyclePool<f64> = RecyclePool::new();
+        pool.release(vec![0.0; 8]);
+        pool.release(vec![0.0; 8]);
+        assert_eq!(pool.parked(), 2);
+        pool.clear();
+        assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn concurrent_kernel_launch_pattern() {
+        // The Octo-Tiger shape: many tasks acquiring/releasing per step.
+        let pool: Arc<RecyclePool<[f64; 5]>> = Arc::new(RecyclePool::new());
+        let rt = amt::Runtime::new(3);
+        for _step in 0..4 {
+            let futures: Vec<_> = (0..32)
+                .map(|_| {
+                    let p = Arc::clone(&pool);
+                    rt.spawn(move || {
+                        let buf = p.acquire(512);
+                        let touched = buf.len();
+                        p.release(buf);
+                        touched
+                    })
+                })
+                .collect();
+            let total: usize = amt::when_all(futures).get().into_iter().sum();
+            assert_eq!(total, 32 * 512);
+        }
+        let s = pool.stats();
+        assert_eq!(s.hits + s.misses, 128);
+        assert!(s.hits > 0, "later steps must reuse earlier buffers: {s:?}");
+    }
+}

@@ -1,0 +1,40 @@
+//! What-if analysis for the paper's proposed RISC-V ISA extensions (§8):
+//! single-cycle context switches, extended atomics, hardware
+//! exponentiation, hardware task queues, and a minimal V extension.
+//!
+//! ```bash
+//! cargo run --release --example isa_whatif
+//! ```
+
+use octotiger_riscv_repro::machine::extensions::{self, IsaExtension};
+use octotiger_riscv_repro::machine::CpuArch;
+use octotiger_riscv_repro::octo_core::experiments;
+
+fn main() {
+    println!("projected ISA-extension speedups on the VisionFive2 (JH7110, 4 cores)\n");
+    let pow_bound = experiments::run_whatif(true);
+    pow_bound.print();
+
+    // The §8 headline: hardware exponent support on a pow-dominated
+    // workload.
+    let workload = octo_whatif_workload();
+    println!("\nper-extension details for a pow-dominated workload:");
+    for ext in IsaExtension::ALL {
+        let s = extensions::speedup(CpuArch::Jh7110, 4, &workload, ext);
+        println!("  {:<20} {s:>5.2}×", ext.label());
+    }
+    println!(
+        "\n§8: \"Adding hardware support for exponents can reduce the number of \
+         floating point operations from approximately ceil((2*e)+3) down to 4.\""
+    );
+}
+
+fn octo_whatif_workload() -> octotiger_riscv_repro::machine::WhatIfWorkload {
+    octotiger_riscv_repro::machine::WhatIfWorkload {
+        transcendental_flops: 95_000_000_000,
+        plain_flops: 5_000_000_000,
+        task_events: 50_000,
+        queue_events: 20_000,
+        atomic_events: 200_000,
+    }
+}

@@ -1,0 +1,49 @@
+//! The paper's Maclaurin benchmark in all four parallelism styles, run on
+//! the host and projected onto the four testbed CPUs.
+//!
+//! ```bash
+//! cargo run --release --example maclaurin [-- <terms>]
+//! ```
+
+use octotiger_riscv_repro::amt::Runtime;
+use octotiger_riscv_repro::machine::CpuArch;
+use octotiger_riscv_repro::octo_core::maclaurin::{self, Approach};
+use octotiger_riscv_repro::octo_core::project::{maclaurin_flops_per_sec, MaclaurinProfile};
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000_000);
+    let x = maclaurin::PAPER_X;
+    let fpt = maclaurin::flops_per_term(x);
+    println!("n = {n}, x = {x}, measured {fpt:.1} flops/term (paper ≈100)\n");
+
+    let rt = Runtime::new(4);
+    for approach in Approach::ALL {
+        rt.reset_stats();
+        let start = std::time::Instant::now();
+        let sum = maclaurin::run(approach, &rt.handle(), x, n);
+        let host_secs = start.elapsed().as_secs_f64();
+        let stats = rt.stats();
+        let profile = MaclaurinProfile {
+            terms: n,
+            flops_per_term: fpt,
+            tasks: stats.tasks_spawned,
+            sched_events: stats.steals + stats.yields,
+        };
+        println!(
+            "{:<22} sum={sum:.10} host={host_secs:.3}s tasks={}",
+            approach.label(),
+            stats.tasks_spawned
+        );
+        for arch in [CpuArch::Epyc7543, CpuArch::A64fx, CpuArch::RiscvU74] {
+            let f = maclaurin_flops_per_sec(arch, 4, approach, &profile);
+            println!("    projected on {:<24} {:>10.3e} FLOP/s (4 cores)", arch.to_string(), f);
+        }
+    }
+    println!("\nerror vs ln(1+x): {:.2e}", {
+        let want = (1.0 + x).ln();
+        (maclaurin::sequential(x, n) - want).abs()
+    });
+}

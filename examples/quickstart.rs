@@ -1,0 +1,71 @@
+//! Quickstart: the whole stack in one page.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use octotiger_riscv_repro::machine::{CpuArch, PowerModel};
+use octotiger_riscv_repro::{amt, kokkos_lite, octo_core, octotiger};
+
+fn main() {
+    // 1. The HPX-like task runtime: futures, continuations, parallel
+    //    algorithms.
+    let rt = amt::Runtime::new(4);
+    let answer = rt.spawn(|| 6 * 7).then(|x| x + 0).get();
+    println!("amt: spawned future resolved to {answer}");
+
+    let sum = amt::par::transform_reduce(
+        &rt.handle(),
+        amt::par::ExecutionPolicy::Par,
+        1..1_000_001,
+        0u64,
+        |i| i as u64,
+        |a, b| a + b,
+    );
+    println!("amt: parallel sum 1..=1e6 = {sum}");
+
+    // 2. Kokkos-like portable kernels: same body on Serial and HPX spaces.
+    let mut field = kokkos_lite::View::<f64>::new_3d("demo", 8, 8, 8);
+    let n = field.size();
+    kokkos_lite::parallel_fill(
+        &kokkos_lite::HpxSpace::new(rt.handle()),
+        field.as_mut_slice(),
+        |i| (i % 8) as f64,
+    );
+    let total = kokkos_lite::parallel_reduce_sum(
+        &kokkos_lite::Serial,
+        kokkos_lite::RangePolicy::new(0, n),
+        |i| field.as_slice()[i],
+    );
+    println!("kokkos-lite: {n}-cell view filled and reduced to {total}");
+
+    // 3. The Maclaurin benchmark (the paper's Eq. 1), async style.
+    let ln_1_5 = octo_core::maclaurin::futures_style(&rt.handle(), 0.5, 1_000_000, 16);
+    println!(
+        "maclaurin: ln(1.5) ≈ {ln_1_5:.9} (exact {:.9})",
+        1.5f64.ln()
+    );
+
+    // 4. A tiny Octo-Tiger rotating-star run (level 1, two steps).
+    let cfg = octotiger::OctoConfig {
+        max_level: 1,
+        stop_step: 2,
+        ..octotiger::OctoConfig::default()
+    };
+    let mut driver = octotiger::Driver::new(cfg);
+    let metrics = driver.run(4);
+    println!(
+        "octotiger: {} leaves / {} cells, {:.0} cells/s on this host",
+        metrics.leaf_count, metrics.cell_count, metrics.cells_per_second
+    );
+
+    // 5. The machine model: peak performance and power of the paper's CPUs.
+    for arch in CpuArch::TABLE2 {
+        println!(
+            "machine: {:<24} peak {:>7.1} GFLOP/s, {:>5.2} W at 4 busy cores",
+            arch.spec().name,
+            arch.peak_gflops_full(),
+            PowerModel::for_arch(arch).power_watts(4)
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the Rust reproduction of
+//! *"Evaluating HPX and Kokkos on RISC-V using an Astrophysics Application
+//! Octo-Tiger"* (SC'23 workshops).
+//!
+//! This crate only re-exports the workspace members so that the repository's
+//! `examples/` and `tests/` can exercise the whole stack through one
+//! dependency. See `DESIGN.md` for the system inventory and `EXPERIMENTS.md`
+//! for the paper-vs-measured record.
+
+pub use amt;
+pub use distrib;
+pub use kokkos_lite;
+pub use octo_core;
+pub use octotiger;
+pub use rv_machine as machine;

@@ -1,0 +1,130 @@
+//! Distributed-stack integration: supervisor/delegate runs over the
+//! simulated parcelports, compared against the node-level driver.
+
+use octotiger_riscv_repro::distrib::{Cluster, ClusterConfig, LocalityHandle};
+use octotiger_riscv_repro::machine::NetBackend;
+use octotiger_riscv_repro::octotiger::dist_driver::{DistConfig, DistRun};
+use octotiger_riscv_repro::octotiger::{Driver, KernelType, OctoConfig};
+
+fn octo_cfg() -> OctoConfig {
+    OctoConfig {
+        max_level: 1,
+        stop_step: 3,
+        ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
+    }
+}
+
+#[test]
+fn distributed_and_node_level_drivers_agree_on_tree_shape() {
+    let node = Driver::new(octo_cfg());
+    let dist = DistRun::execute(DistConfig {
+        nodes: 2,
+        threads_per_node: 2,
+        backend: NetBackend::Tcp,
+        octo: octo_cfg(),
+    });
+    assert_eq!(node.tree().leaf_count(), dist.leaf_count);
+    assert_eq!(node.tree().cell_count(), dist.cell_count);
+}
+
+#[test]
+fn wire_traffic_scales_with_steps() {
+    let run = |steps: u32| {
+        DistRun::execute(DistConfig {
+            nodes: 2,
+            threads_per_node: 2,
+            backend: NetBackend::Tcp,
+            octo: OctoConfig {
+                stop_step: steps,
+                ..octo_cfg()
+            },
+        })
+        .net
+    };
+    let two = run(2);
+    let four = run(4);
+    assert!(four.messages > two.messages);
+    assert!(four.bytes > two.bytes);
+    // Per-step traffic is constant (same tree, same halo).
+    assert_eq!(four.messages % 2, 0);
+    assert!(
+        (four.bytes as f64 / two.bytes as f64 - 2.0).abs() < 0.1,
+        "bytes: {} vs {}",
+        two.bytes,
+        four.bytes
+    );
+}
+
+#[test]
+fn actions_compose_into_a_tree_traversal() {
+    // A distributed recursive reduction across both localities — the
+    // pattern Octo-Tiger's tree traversals use (§3.1: recursion over
+    // possibly-remote children with unified syntax).
+    let cluster = Cluster::new(ClusterConfig {
+        localities: 2,
+        threads_per_locality: 2,
+        backend: NetBackend::Tcp,
+    });
+    cluster.register_action(
+        "subtree_sum",
+        |ctx: &LocalityHandle, gid, children: Vec<octotiger_riscv_repro::distrib::Gid>| -> u64 {
+            let own = ctx
+                .with_component::<u64, _>(gid, |v| *v)
+                .expect("component lives here");
+            let futures: Vec<amt::Future<u64>> = children
+                .iter()
+                .map(|&c| ctx.invoke(c, "subtree_sum", &Vec::<octotiger_riscv_repro::distrib::Gid>::new()))
+                .collect();
+            own + amt::when_all(futures).get().into_iter().sum::<u64>()
+        },
+    );
+    let l0 = cluster.locality(0);
+    let l1 = cluster.locality(1);
+    // Root on locality 0, four leaves alternating localities.
+    let leaves: Vec<_> = (0..4u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                l0.new_component(10 + i)
+            } else {
+                l1.new_component(10 + i)
+            }
+        })
+        .collect();
+    let root = l0.new_component(1u64);
+    let total: u64 = l0.invoke(root, "subtree_sum", &leaves).get();
+    assert_eq!(total, 1 + 10 + 11 + 12 + 13);
+    assert!(cluster.net_stats().remote_actions >= 2);
+}
+
+#[test]
+fn mpi_and_tcp_runs_produce_identical_physics() {
+    // The backend is a *model*; the computation must be bit-identical.
+    let tcp = DistRun::execute(DistConfig {
+        nodes: 2,
+        threads_per_node: 2,
+        backend: NetBackend::Tcp,
+        octo: octo_cfg(),
+    });
+    let mpi = DistRun::execute(DistConfig {
+        nodes: 2,
+        threads_per_node: 2,
+        backend: NetBackend::Mpi,
+        octo: octo_cfg(),
+    });
+    assert_eq!(tcp.cells_processed, mpi.cells_processed);
+    assert_eq!(tcp.net.messages, mpi.net.messages);
+    assert_eq!(tcp.net.bytes, mpi.net.bytes);
+}
+
+#[test]
+fn single_node_distributed_run_matches_cell_throughput_shape() {
+    let m = DistRun::execute(DistConfig {
+        nodes: 1,
+        threads_per_node: 2,
+        backend: NetBackend::Tcp,
+        octo: octo_cfg(),
+    });
+    assert_eq!(m.net.messages, 0);
+    assert!(m.cells_per_second > 0.0);
+    assert!(m.work.flops() > 0);
+}

@@ -1,0 +1,139 @@
+//! Physics validation of the Octo-Tiger mini-app across multiple steps:
+//! conservation, stability, gravity correctness and backend equivalence.
+
+use octotiger_riscv_repro::amt::Runtime;
+use octotiger_riscv_repro::octotiger::star::field;
+use octotiger_riscv_repro::octotiger::{Driver, KernelType, OctoConfig};
+
+fn config(kernel: KernelType, level: u32, steps: u32) -> OctoConfig {
+    OctoConfig {
+        max_level: level,
+        stop_step: steps,
+        ..OctoConfig::with_all_kernels(kernel)
+    }
+}
+
+#[test]
+fn five_step_run_conserves_mass_and_stays_positive() {
+    let mut d = Driver::new(config(KernelType::KokkosSerial, 2, 5));
+    let rt = Runtime::new(2);
+    let m0 = d.tree().total_mass();
+    for _ in 0..5 {
+        d.step(&rt);
+    }
+    let m1 = d.tree().total_mass();
+    assert!(
+        ((m1 - m0) / m0).abs() < 0.02,
+        "mass over 5 steps: {m0} → {m1}"
+    );
+    for &leaf in d.tree().leaf_ids() {
+        let g = d.tree().subgrid(leaf);
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    assert!(g.at(field::RHO, i, j, k) > 0.0);
+                    assert!(g.at(field::EGAS, i, j, k) > 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn angular_momentum_of_rotating_star_persists() {
+    // The star rotates about z; total L_z = Σ (x·s_y − y·s_x) dV must stay
+    // within a few percent over a couple of steps.
+    let mut d = Driver::new(config(KernelType::KokkosSerial, 2, 2));
+    let rt = Runtime::new(2);
+    let lz = |d: &Driver| -> f64 {
+        let mut total = 0.0;
+        for &leaf in d.tree().leaf_ids() {
+            let g = d.tree().subgrid(leaf);
+            let vol = g.dx * g.dx * g.dx;
+            for i in 0..8 {
+                for j in 0..8 {
+                    for k in 0..8 {
+                        let c = g.cell_center(i, j, k);
+                        total += (c[0] * g.at(field::SY, i, j, k)
+                            - c[1] * g.at(field::SX, i, j, k))
+                            * vol;
+                    }
+                }
+            }
+        }
+        total
+    };
+    let l0 = lz(&d);
+    assert!(l0 > 0.0, "the star must actually rotate: L_z = {l0}");
+    d.step(&rt);
+    d.step(&rt);
+    let l1 = lz(&d);
+    assert!(
+        ((l1 - l0) / l0).abs() < 0.05,
+        "angular momentum drift: {l0} → {l1}"
+    );
+}
+
+#[test]
+fn star_remains_centrally_concentrated() {
+    // After a few steps of the near-equilibrium star, the density maximum
+    // must remain near the origin (no blow-up, no collapse to the walls).
+    let mut d = Driver::new(config(KernelType::KokkosSerial, 2, 3));
+    let rt = Runtime::new(2);
+    for _ in 0..3 {
+        d.step(&rt);
+    }
+    let mut best = (0.0f64, [0.0f64; 3]);
+    for &leaf in d.tree().leaf_ids() {
+        let g = d.tree().subgrid(leaf);
+        for i in 0..8 {
+            for j in 0..8 {
+                for k in 0..8 {
+                    let rho = g.at(field::RHO, i, j, k);
+                    if rho > best.0 {
+                        best = (rho, g.cell_center(i, j, k));
+                    }
+                }
+            }
+        }
+    }
+    let r = (best.1[0].powi(2) + best.1[1].powi(2) + best.1[2].powi(2)).sqrt();
+    assert!(
+        r < 0.3,
+        "density max wandered to r = {r} (ρ = {})",
+        best.0
+    );
+    assert!(best.0 > 0.3, "central density collapsed: {}", best.0);
+}
+
+#[test]
+fn dt_sequence_is_backend_independent() {
+    let rt = Runtime::new(2);
+    let mut dts: Vec<Vec<f64>> = Vec::new();
+    for kind in KernelType::ALL {
+        let mut d = Driver::new(config(kind, 1, 3));
+        dts.push((0..3).map(|_| d.step(&rt)).collect());
+    }
+    for other in &dts[1..] {
+        for (a, b) in dts[0].iter().zip(other) {
+            assert_eq!(a.to_bits(), b.to_bits(), "dt must not depend on dispatch");
+        }
+    }
+}
+
+#[test]
+fn deeper_refinement_reduces_discretization_error() {
+    // Grid mass should converge toward the analytic star mass as the tree
+    // deepens.
+    let star = octotiger_riscv_repro::octotiger::RotatingStar::paper_default();
+    let err = |level: u32| -> f64 {
+        let d = Driver::new(config(KernelType::KokkosSerial, level, 1));
+        ((d.tree().total_mass() - star.mass) / star.mass).abs()
+    };
+    let e1 = err(1);
+    let e3 = err(3);
+    assert!(
+        e3 < e1,
+        "level-3 mass error {e3} must beat level-1 error {e1}"
+    );
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration: the amt runtime, kokkos-lite kernels and the
+//! machine model working together, end to end.
+
+use octotiger_riscv_repro::amt::{self, Runtime};
+use octotiger_riscv_repro::kokkos_lite::{self, ExecutionSpace};
+use octotiger_riscv_repro::machine::{CostModel, CpuArch, FlopCounter};
+use octotiger_riscv_repro::octo_core::maclaurin;
+
+#[test]
+fn kokkos_kernel_on_amt_runtime_counts_real_work() {
+    // A Kokkos-style kernel dispatched on the HPX-like runtime, with the
+    // instrumented flop counter installed on every worker via the kernel
+    // body itself.
+    let rt = Runtime::new(3);
+    let space = kokkos_lite::HpxSpace::new(rt.handle());
+    let ctr = FlopCounter::new();
+    let n = 10_000;
+    let sum = {
+        let ctr = std::sync::Arc::clone(&ctr);
+        space.reduce_range(
+            0..n,
+            0.0,
+            move |i| {
+                let _g = ctr.install();
+                let a = octotiger_riscv_repro::machine::CountedF64::new(i as f64);
+                (a * a).get()
+            },
+            |a, b| a + b,
+        )
+    };
+    let expected: f64 = (0..n).map(|i| (i as f64) * (i as f64)).sum();
+    assert_eq!(sum, expected);
+    assert_eq!(ctr.muls(), n as u64, "one counted multiply per element");
+}
+
+#[test]
+fn maclaurin_all_styles_scale_and_agree_on_one_runtime() {
+    let rt = Runtime::new(4);
+    let h = rt.handle();
+    let n = 200_000;
+    let want = maclaurin::sequential(maclaurin::PAPER_X, n);
+    for ap in maclaurin::Approach::ALL {
+        let got = maclaurin::run(ap, &h, maclaurin::PAPER_X, n);
+        assert!((got - want).abs() < 1e-12, "{ap:?}");
+    }
+    // All that activity must be visible in the scheduler stats.
+    let stats = rt.stats();
+    assert!(stats.tasks_spawned > 16);
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
+fn futures_chain_across_subsystems() {
+    // Future → continuation → kokkos kernel → machine projection, one DAG.
+    let rt = Runtime::new(2);
+    let h = rt.handle();
+    let h2 = h.clone();
+    let projected = rt
+        .spawn(move || {
+            let space = kokkos_lite::HpxSpace::new(h2);
+            kokkos_lite::parallel_reduce_sum(
+                &space,
+                kokkos_lite::RangePolicy::new(1, 1001),
+                |i| 1.0 / i as f64,
+            )
+        })
+        .then(|harmonic| {
+            // Charge the result's cost on the U74.
+            let cm = CostModel::new(CpuArch::RiscvU74);
+            (harmonic, cm.flop_seconds(2 * 1000))
+        })
+        .get();
+    assert!((projected.0 - 7.485470).abs() < 1e-5);
+    assert!(projected.1 > 0.0);
+}
+
+#[test]
+fn when_all_spans_execution_spaces() {
+    let rt = Runtime::new(3);
+    let h = rt.handle();
+    let serial_task = {
+        let grid_sum = kokkos_lite::parallel_reduce_sum(
+            &kokkos_lite::Serial,
+            kokkos_lite::RangePolicy::new(0, 100),
+            |i| i as f64,
+        );
+        amt::make_ready_future(grid_sum)
+    };
+    let hpx_task = {
+        let h2 = h.clone();
+        h.spawn(move || {
+            kokkos_lite::parallel_reduce_sum(
+                &kokkos_lite::HpxSpace::new(h2),
+                kokkos_lite::RangePolicy::new(0, 100),
+                |i| i as f64,
+            )
+        })
+    };
+    let results = amt::when_all(vec![serial_task, hpx_task]).get();
+    assert_eq!(results[0], results[1]);
+}
+
+#[test]
+fn runtime_stats_feed_cost_model() {
+    // The projection pipeline: run real work, convert event counts to
+    // modelled seconds on each architecture.
+    let rt = Runtime::new(2);
+    rt.reset_stats();
+    let futures: Vec<_> = (0..256).map(|i| rt.spawn(move || i as u64)).collect();
+    let total: u64 = amt::when_all(futures).get().into_iter().sum();
+    assert_eq!(total, 255 * 256 / 2);
+    let stats = rt.stats();
+    let rv = CostModel::new(CpuArch::RiscvU74)
+        .event_seconds(octotiger_riscv_repro::machine::RuntimeEvent::TaskSpawn, stats.tasks_spawned);
+    let amd = CostModel::new(CpuArch::Epyc7543)
+        .event_seconds(octotiger_riscv_repro::machine::RuntimeEvent::TaskSpawn, stats.tasks_spawned);
+    assert!(rv > amd, "task overhead must cost more on the U74");
+}
