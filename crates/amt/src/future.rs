@@ -388,9 +388,8 @@ mod tests {
             rt.spawn(|| -> i32 { panic!("inner") }),
             rt.spawn(|| 3),
         ];
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            when_all(futures).get()
-        }));
+        let res =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| when_all(futures).get()));
         assert!(res.is_err());
     }
 

@@ -71,6 +71,23 @@ pub struct Scope<'env> {
     _env: PhantomData<&'env mut &'env ()>,
 }
 
+/// Erase the `'env` lifetime of a scoped-task closure so it can ride the
+/// runtime's `'static` spawn queue.
+///
+/// # Safety
+///
+/// The caller must ensure the returned closure runs (or is dropped) before
+/// `'env` ends, i.e. before anything it borrows is invalidated. In this
+/// module that contract is upheld by [`scope`]: every erased closure is
+/// wrapped so it decrements `ScopeSync::pending` exactly once — on the
+/// normal and on the unwinding path — and `scope` does not return, even when
+/// a task panicked, until `pending` is back to zero.
+unsafe fn erase_scope_lifetime<'env>(
+    f: Box<dyn FnOnce() + Send + 'env>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    std::mem::transmute(f)
+}
+
 impl<'env> Scope<'env> {
     /// Spawn a borrowing task on the scope.
     pub fn spawn<F>(&self, f: F)
@@ -80,9 +97,10 @@ impl<'env> Scope<'env> {
         self.sync.pending.fetch_add(1, Ordering::SeqCst);
         let sync = Arc::clone(&self.sync);
         let boxed: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
-        // SAFETY: `scope()` blocks until `pending` returns to zero, so the
-        // closure (and everything it borrows from 'env) outlives the task.
-        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        // SAFETY: the task below decrements `pending` on every exit path and
+        // `scope()` blocks until `pending` returns to zero, so the closure
+        // (and everything it borrows from 'env) outlives the task.
+        let boxed = unsafe { erase_scope_lifetime(boxed) };
         self.handle.spawn_detached(move || {
             if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(boxed)) {
                 let mut p = sync.panic.lock();
@@ -476,6 +494,36 @@ mod tests {
         assert!(res.is_err());
         // Runtime still usable.
         assert_eq!(rt.spawn(|| 1).get(), 1);
+    }
+
+    #[test]
+    fn scope_panic_path_keeps_borrows_alive() {
+        // The unsafe lifetime erasure in `erase_scope_lifetime` is only
+        // sound if `scope` refuses to unwind before every task finished —
+        // including when one of them panics. Borrow stack data from tasks
+        // that race a panicking sibling and check all of them completed
+        // against the still-live borrow before the panic resurfaced.
+        let rt = Runtime::new(4);
+        let data: Vec<u64> = (0..256).collect();
+        let touched = AtomicU64::new(0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope(&rt.handle(), |sc| {
+                for chunk in data.chunks(16) {
+                    let touched = &touched;
+                    sc.spawn(move || {
+                        touched.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                    });
+                }
+                sc.spawn(|| panic!("die mid-scope"));
+            });
+        }));
+        assert!(res.is_err(), "the scoped panic must resurface");
+        // Quiescence before unwind: every borrowing task ran to completion
+        // while `data` was still alive.
+        assert_eq!(touched.load(Ordering::Relaxed), (0..256u64).sum::<u64>());
+        drop(data);
+        // Runtime still usable afterwards.
+        assert_eq!(rt.spawn(|| 7).get(), 7);
     }
 
     #[test]

@@ -183,9 +183,7 @@ fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<Task>) {
                     // Re-check under the lock: a producer may have pushed and
                     // notified between our failed search and this point.
                     if shared.injector.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
-                        shared
-                            .wake
-                            .wait_for(&mut g, Duration::from_micros(500));
+                        shared.wake.wait_for(&mut g, Duration::from_micros(500));
                     }
                 }
                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
@@ -516,7 +514,11 @@ mod tests {
                     })
                 })
                 .collect();
-            kids.into_iter().map(|k| k.get()).count()
+            let n = kids.len();
+            for k in kids {
+                k.get();
+            }
+            n
         });
         assert_eq!(f.get(), 400);
         assert!(rt.stats().steals > 0, "expected steals: {:?}", rt.stats());

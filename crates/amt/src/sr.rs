@@ -27,6 +27,10 @@ use parking_lot::Mutex;
 use crate::future::pair;
 use crate::Handle;
 
+/// A completion value paired with the continuation that consumes it — the
+/// state a [`Bulk`] completion hands to whichever iteration finishes last.
+type Finisher<T> = Arc<Mutex<Option<(T, Box<dyn FnOnce(T) + Send>)>>>;
+
 /// A description of asynchronous work completing with `Output`.
 pub trait Sender: Sized + Send + 'static {
     /// The value this sender completes with.
@@ -158,8 +162,7 @@ where
             match sched {
                 Some(h) => {
                     let remaining = Arc::new(AtomicUsize::new(shape));
-                    let fin: Arc<Mutex<Option<(S::Output, Box<dyn FnOnce(S::Output) + Send>)>>> =
-                        Arc::new(Mutex::new(Some((value, receiver))));
+                    let fin: Finisher<S::Output> = Arc::new(Mutex::new(Some((value, receiver))));
                     for i in 0..shape {
                         let f = Arc::clone(&f);
                         let remaining = Arc::clone(&remaining);
@@ -292,7 +295,8 @@ mod tests {
         let rt = Runtime::new(4);
         let n = 10_000usize;
         let chunks = 16usize;
-        let partials: Arc<Vec<Mutex<f64>>> = Arc::new((0..chunks).map(|_| Mutex::new(0.0)).collect());
+        let partials: Arc<Vec<Mutex<f64>>> =
+            Arc::new((0..chunks).map(|_| Mutex::new(0.0)).collect());
         let p2 = Arc::clone(&partials);
         let total = sync_wait(
             schedule(&rt.handle())

@@ -18,9 +18,7 @@ fn styles(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("style", approach.label()),
             &approach,
-            |b, &ap| {
-                b.iter(|| black_box(maclaurin::run(ap, &h, maclaurin::PAPER_X, black_box(n))))
-            },
+            |b, &ap| b.iter(|| black_box(maclaurin::run(ap, &h, maclaurin::PAPER_X, black_box(n)))),
         );
     }
     g.finish();

@@ -26,9 +26,11 @@ fn hydro_kernels(c: &mut Criterion) {
     g.sample_size(10);
     for kind in KernelType::ALL {
         let d = Dispatch::new(kind, &rt.handle(), 4);
-        g.bench_with_input(BenchmarkId::new("subgrid_step", kind.label()), &d, |b, d| {
-            b.iter(|| black_box(hydro::step_interior(&grid, 1e-4, d)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("subgrid_step", kind.label()),
+            &d,
+            |b, d| b.iter(|| black_box(hydro::step_interior(&grid, 1e-4, d))),
+        );
     }
     g.bench_function("max_signal_speed", |b| {
         let d = Dispatch::Legacy;
@@ -86,13 +88,17 @@ fn ablation_theta(c: &mut Criterion) {
     let mut g = c.benchmark_group("octotiger-ablation-theta");
     g.sample_size(10);
     for theta in [0.2f64, 0.5, 0.8] {
-        g.bench_with_input(BenchmarkId::new("theta", format!("{theta}")), &theta, |b, &t| {
-            b.iter(|| {
-                black_box(gravity::accel_for_leaf(
-                    tree, &moments, &blocks, &pos, target, t, &d, &d,
-                ))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("theta", format!("{theta}")),
+            &theta,
+            |b, &t| {
+                b.iter(|| {
+                    black_box(gravity::accel_for_leaf(
+                        tree, &moments, &blocks, &pos, target, t, &d, &d,
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -101,18 +107,28 @@ fn full_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("octotiger-step");
     g.sample_size(10);
     for kind in KernelType::ALL {
-        g.bench_with_input(BenchmarkId::new("level1_step", kind.label()), &kind, |b, &k| {
-            let rt = bench_runtime();
-            let mut driver = Driver::new(OctoConfig {
-                max_level: 1,
-                stop_step: 1,
-                ..OctoConfig::with_all_kernels(k)
-            });
-            b.iter(|| black_box(driver.step(&rt)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("level1_step", kind.label()),
+            &kind,
+            |b, &k| {
+                let rt = bench_runtime();
+                let mut driver = Driver::new(OctoConfig {
+                    max_level: 1,
+                    stop_step: 1,
+                    ..OctoConfig::with_all_kernels(k)
+                });
+                b.iter(|| black_box(driver.step(&rt)))
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, hydro_kernels, gravity_kernels, ablation_theta, full_step);
+criterion_group!(
+    benches,
+    hydro_kernels,
+    gravity_kernels,
+    ablation_theta,
+    full_step
+);
 criterion_main!(benches);

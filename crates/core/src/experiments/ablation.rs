@@ -134,7 +134,11 @@ mod tests {
         assert!(err.points.first().unwrap().1 <= err.points.last().unwrap().1 + 1e-12);
         assert!(work.points.first().unwrap().1 >= work.points.last().unwrap().1);
         // At the paper's theta the error is small.
-        assert!(err.y_at(0.5).unwrap() < 0.05, "θ=0.5 rms {}", err.y_at(0.5).unwrap());
+        assert!(
+            err.y_at(0.5).unwrap() < 0.05,
+            "θ=0.5 rms {}",
+            err.y_at(0.5).unwrap()
+        );
     }
 
     #[test]

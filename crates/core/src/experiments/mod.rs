@@ -44,8 +44,21 @@ pub fn run_all(quick: bool) -> Vec<Exhibit> {
 
 /// Exhibit ids accepted by the `figures` binary.
 pub const EXHIBIT_IDS: [&str; 15] = [
-    "table1", "table2", "flops", "fig4a", "fig4b", "fig5", "fig6a", "fig6b", "fig7", "fig8",
-    "fig9", "whatif", "membench", "ablation_theta", "ablation_chunks",
+    "table1",
+    "table2",
+    "flops",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "whatif",
+    "membench",
+    "ablation_theta",
+    "ablation_chunks",
 ];
 
 /// Run one exhibit by id.

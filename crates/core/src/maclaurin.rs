@@ -64,7 +64,7 @@ pub const PAPER_FLOPS: u64 = 100_000_028_581;
 /// One series term, computed the way the C++ benchmark does: `std::pow`.
 #[inline]
 pub fn term(x: f64, k: u64) -> f64 {
-    let sign = if k % 2 == 0 { -1.0 } else { 1.0 };
+    let sign = if k.is_multiple_of(2) { -1.0 } else { 1.0 };
     sign * x.powf(k as f64) / k as f64
 }
 
@@ -128,9 +128,10 @@ pub fn coroutine_style(handle: &Handle, x: f64, n: u64, chunks: usize, stride: u
     let futures: Vec<amt::Future<f64>> = (0..chunks)
         .map(|c| {
             let (lo, hi) = chunk_bounds(n, chunks, c);
-            let co = coro::ChunkedFold::new(lo as usize..hi as usize + 1, stride, 0.0, move |acc, k| {
-                acc + term(x, k as u64)
-            });
+            let co =
+                coro::ChunkedFold::new(lo as usize..hi as usize + 1, stride, 0.0, move |acc, k| {
+                    acc + term(x, k as u64)
+                });
             coro::spawn_coroutine(handle, co)
         })
         .collect();
@@ -205,10 +206,7 @@ mod tests {
         let want = sequential(PAPER_X, N);
         for approach in Approach::ALL {
             let got = run(approach, &h, PAPER_X, N);
-            assert!(
-                (got - want).abs() < 1e-12,
-                "{approach:?}: {got} vs {want}"
-            );
+            assert!((got - want).abs() < 1e-12, "{approach:?}: {got} vs {want}");
         }
     }
 

@@ -54,7 +54,9 @@ pub fn gups(table: &mut [u64], updates: usize) -> u64 {
     let mask = (table.len() - 1) as u64;
     let mut x = 0x1234_5678_9abc_def0u64;
     for _ in 0..updates {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let idx = (x & mask) as usize;
         table[idx] ^= x;
     }
@@ -98,7 +100,12 @@ pub fn run_exhibit(handle: &Handle, quick: bool) -> crate::report::Exhibit {
         "benchmark (0 = Triad GiB/s, 1 = GUPS Mups/s)",
         "projected at 4 cores",
     );
-    for arch in [CpuArch::Jh7110, CpuArch::A64fx, CpuArch::Epyc7543, CpuArch::XeonGold6140] {
+    for arch in [
+        CpuArch::Jh7110,
+        CpuArch::A64fx,
+        CpuArch::Epyc7543,
+        CpuArch::XeonGold6140,
+    ] {
         e.push_series(Series::new(
             arch.tag(),
             vec![

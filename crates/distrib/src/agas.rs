@@ -176,7 +176,9 @@ mod tests {
         for t in 0..4u32 {
             let a = std::sync::Arc::clone(&agas);
             handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| a.new_gid(LocalityId(t))).collect::<Vec<_>>()
+                (0..1000)
+                    .map(|_| a.new_gid(LocalityId(t)))
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<Gid> = handles

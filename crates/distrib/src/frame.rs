@@ -1,0 +1,263 @@
+//! Parcel framing — the byte layout parcelports put on the wire.
+//!
+//! A frame is either a **single** parcel or a **coalesced batch** of
+//! parcels (the coalescing layer of `crate::coalesce` packs small parcels
+//! headed to the same destination into one frame, HPX's
+//! "parcel coalescing" plugin):
+//!
+//! ```text
+//! magic   u16  = 0x0C7E            (rejects desynchronized streams)
+//! kind    u8   = 1 single | 2 batch
+//! count   u32  (LE)                 parcels in the frame (1 for single)
+//! repeat count times:
+//!   len   u32  (LE)
+//!   body  len bytes                 one wire-encoded parcel
+//! ```
+//!
+//! [`FrameDecoder`] is incremental: `feed` accepts arbitrary byte slices
+//! (partial frames, multiple frames, split headers) and yields complete
+//! parcel bodies as they materialize — the shape a streaming TCP receive
+//! path needs.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Frame magic (two bytes, little-endian on the wire).
+pub const FRAME_MAGIC: u16 = 0x0C7E;
+
+/// Fixed per-frame header size: magic + kind + count.
+pub const FRAME_HEADER_BYTES: usize = 7;
+
+/// Per-parcel length prefix inside a frame.
+pub const PARCEL_LEN_BYTES: usize = 4;
+
+const KIND_SINGLE: u8 = 1;
+const KIND_BATCH: u8 = 2;
+
+/// Framing failures (a desynchronized or corrupt stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The stream does not start with [`FRAME_MAGIC`].
+    BadMagic(u16),
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// A single frame claiming a parcel count other than 1.
+    BadCount(u32),
+    /// A length prefix exceeding the sanity bound.
+    Oversized(u32),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            FrameError::BadKind(k) => write!(f, "bad frame kind {k}"),
+            FrameError::BadCount(c) => write!(f, "single frame with count {c}"),
+            FrameError::Oversized(n) => write!(f, "parcel length {n} exceeds sanity bound"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Sanity bound on one parcel's length (a level-4 halo exchange is ~1 MiB;
+/// anything near 1 GiB is a desynchronized stream, not a parcel).
+pub const MAX_PARCEL_BYTES: u32 = 1 << 30;
+
+fn put_header(out: &mut BytesMut, kind: u8, count: u32) {
+    out.put_u16_le(FRAME_MAGIC);
+    out.put_u8(kind);
+    out.put_u32_le(count);
+}
+
+/// Frame one parcel.
+pub fn encode_single(parcel: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(FRAME_HEADER_BYTES + PARCEL_LEN_BYTES + parcel.len());
+    put_header(&mut out, KIND_SINGLE, 1);
+    out.put_u32_le(parcel.len() as u32);
+    out.put_slice(parcel);
+    out.freeze()
+}
+
+/// Frame a coalesced batch. Panics on an empty batch (the coalescer never
+/// flushes an empty queue).
+pub fn encode_batch(parcels: &[Bytes]) -> Bytes {
+    assert!(!parcels.is_empty(), "cannot frame an empty batch");
+    let body: usize = parcels.iter().map(|p| PARCEL_LEN_BYTES + p.len()).sum();
+    let mut out = BytesMut::with_capacity(FRAME_HEADER_BYTES + body);
+    put_header(&mut out, KIND_BATCH, parcels.len() as u32);
+    for p in parcels {
+        out.put_u32_le(p.len() as u32);
+        out.put_slice(p);
+    }
+    out.freeze()
+}
+
+/// Parcel count carried by a frame — a cheap header peek used by port
+/// statistics (0 for a buffer too short to hold a header).
+pub fn decode_parcel_count(frame: &[u8]) -> u64 {
+    if frame.len() < FRAME_HEADER_BYTES {
+        return 0;
+    }
+    u64::from(u32::from_le_bytes([frame[3], frame[4], frame[5], frame[6]]))
+}
+
+/// Decode one complete frame into its parcel bodies (the non-streaming
+/// path used by the in-process receive loop, which gets whole frames).
+pub fn decode_frame(frame: &[u8]) -> Result<Vec<Vec<u8>>, FrameError> {
+    let mut dec = FrameDecoder::new();
+    dec.feed(frame)
+}
+
+/// Incremental frame decoder for streamed input.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Parcels still expected in the frame being decoded (None: at a
+    /// frame boundary, the next bytes are a header).
+    remaining_in_frame: Option<u32>,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes buffered but not yet assembled into a parcel.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the decoder sits exactly at a frame boundary with nothing
+    /// buffered (a cleanly terminated stream).
+    pub fn is_clean(&self) -> bool {
+        self.buf.is_empty() && self.remaining_in_frame.is_none()
+    }
+
+    /// Feed a chunk of stream bytes; returns every parcel body completed by
+    /// this chunk (possibly none, possibly spanning several frames).
+    pub fn feed(&mut self, chunk: &[u8]) -> Result<Vec<Vec<u8>>, FrameError> {
+        self.buf.extend_from_slice(chunk);
+        let mut out = Vec::new();
+        loop {
+            match self.remaining_in_frame {
+                None => {
+                    // Need a full header to proceed.
+                    if self.buf.len() < FRAME_HEADER_BYTES {
+                        return Ok(out);
+                    }
+                    let magic = u16::from_le_bytes([self.buf[0], self.buf[1]]);
+                    if magic != FRAME_MAGIC {
+                        return Err(FrameError::BadMagic(magic));
+                    }
+                    let kind = self.buf[2];
+                    let count =
+                        u32::from_le_bytes([self.buf[3], self.buf[4], self.buf[5], self.buf[6]]);
+                    match kind {
+                        KIND_SINGLE if count != 1 => return Err(FrameError::BadCount(count)),
+                        KIND_SINGLE | KIND_BATCH => {}
+                        other => return Err(FrameError::BadKind(other)),
+                    }
+                    self.buf.drain(..FRAME_HEADER_BYTES);
+                    self.remaining_in_frame = Some(count);
+                }
+                Some(0) => {
+                    self.remaining_in_frame = None;
+                }
+                Some(n) => {
+                    if self.buf.len() < PARCEL_LEN_BYTES {
+                        return Ok(out);
+                    }
+                    let len =
+                        u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+                    if len > MAX_PARCEL_BYTES {
+                        return Err(FrameError::Oversized(len));
+                    }
+                    let need = PARCEL_LEN_BYTES + len as usize;
+                    if self.buf.len() < need {
+                        return Ok(out);
+                    }
+                    out.push(self.buf[PARCEL_LEN_BYTES..need].to_vec());
+                    self.buf.drain(..need);
+                    self.remaining_in_frame = Some(n - 1);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_roundtrip() {
+        let frame = encode_single(b"hello parcel");
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + PARCEL_LEN_BYTES + 12);
+        let parcels = decode_frame(&frame).unwrap();
+        assert_eq!(parcels, vec![b"hello parcel".to_vec()]);
+    }
+
+    #[test]
+    fn batch_roundtrip_preserves_order() {
+        let parcels: Vec<Bytes> = vec![
+            Bytes::from(&b"a"[..]),
+            Bytes::from(&b""[..]),
+            Bytes::from(&b"ccc"[..]),
+        ];
+        let frame = encode_batch(&parcels);
+        let out = decode_frame(&frame).unwrap();
+        assert_eq!(out, vec![b"a".to_vec(), b"".to_vec(), b"ccc".to_vec()]);
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time_input() {
+        let frame = encode_batch(&[Bytes::from(&b"xy"[..]), Bytes::from(&b"z"[..])]);
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in frame.iter() {
+            got.extend(dec.feed(&[*b]).unwrap());
+        }
+        assert_eq!(got, vec![b"xy".to_vec(), b"z".to_vec()]);
+        assert!(dec.is_clean());
+    }
+
+    #[test]
+    fn decoder_spans_multiple_frames_in_one_chunk() {
+        let mut stream = encode_single(b"one").to_vec();
+        stream.extend_from_slice(&encode_batch(&[Bytes::from(&b"two"[..])]));
+        let mut dec = FrameDecoder::new();
+        let got = dec.feed(&stream).unwrap();
+        assert_eq!(got, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(dec.is_clean());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_single(b"p").to_vec();
+        frame[0] ^= 0xFF;
+        assert!(matches!(decode_frame(&frame), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn bad_kind_and_count_rejected() {
+        let mut frame = encode_single(b"p").to_vec();
+        frame[2] = 9;
+        assert!(matches!(decode_frame(&frame), Err(FrameError::BadKind(9))));
+        let mut frame = encode_single(b"p").to_vec();
+        frame[3] = 2; // single frame claiming two parcels
+        assert!(matches!(decode_frame(&frame), Err(FrameError::BadCount(2))));
+    }
+
+    #[test]
+    fn truncated_frame_yields_nothing_but_keeps_state() {
+        let frame = encode_single(b"payload");
+        let mut dec = FrameDecoder::new();
+        let cut = frame.len() - 3;
+        assert!(dec.feed(&frame[..cut]).unwrap().is_empty());
+        assert!(!dec.is_clean());
+        let got = dec.feed(&frame[cut..]).unwrap();
+        assert_eq!(got, vec![b"payload".to_vec()]);
+        assert!(dec.is_clean());
+    }
+}

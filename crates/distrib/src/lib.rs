@@ -2,27 +2,40 @@
 //!
 //! The paper's distributed experiments (§6.2.2, Fig. 8) run Octo-Tiger on an
 //! in-house cluster of two VisionFive2 RISC-V boards over gigabit Ethernet,
-//! comparing HPX's TCP and MPI parcelports. This crate reproduces that
-//! substrate inside one process:
+//! comparing HPX's parcelports. This crate reproduces that substrate inside
+//! one process, layered like HPX's parcel subsystem:
 //!
 //! * [`Cluster`] boots N *localities*, each with its own `amt::Runtime`
-//!   (one per board) and a parcel receive loop;
+//!   (one per board) and a frame receive loop;
 //! * [`agas::Agas`] is the Active Global Address Space: components are
 //!   created on a locality, addressed by [`agas::Gid`], and resolvable from
 //!   anywhere;
 //! * remote **actions** ([`LocalityHandle::invoke`]) serialize their
-//!   arguments through the binary [`wire`] format, travel as parcels, run as
-//!   tasks on the target runtime, and return futures — with HPX's unified
-//!   local/remote syntax (local calls skip the wire);
-//! * [`stats::NetStats`] measures messages and bytes; the `rv-machine` cost
-//!   model turns those into TCP-vs-MPI link times for the Fig. 8 projection.
+//!   arguments through the binary [`wire`] format into
+//!   [`parcel::ParcelMsg`]s, with HPX's unified local/remote syntax (local
+//!   calls skip the wire);
+//! * the [`coalesce`] layer optionally batches small parcels per
+//!   destination (HPX's parcel-coalescing plugin) under a bounded
+//!   in-flight queue;
+//! * a pluggable [`parcelport::Parcelport`] — TCP, MPI or LCI — moves
+//!   [`frame`]d byte buffers and measures per-port [`stats::PortStats`];
+//!   the `rv-machine` cost model turns those into per-backend link times
+//!   for the Fig. 8 projection.
 
 pub mod agas;
 pub mod cluster;
+pub mod coalesce;
+pub mod frame;
+pub mod parcel;
+pub mod parcelport;
 pub mod stats;
 pub mod wire;
 
 pub use agas::{Agas, Gid, LocalityId};
 pub use cluster::{Cluster, ClusterConfig, LocalityHandle};
-pub use stats::{NetSnapshot, NetStats, PARCEL_HEADER_BYTES};
+pub use coalesce::{CoalesceConfig, Coalescer};
+pub use frame::{FrameDecoder, FrameError};
+pub use parcel::ParcelMsg;
+pub use parcelport::{Deliver, Parcelport};
+pub use stats::{NetSnapshot, NetStats, PortSnapshot, PortStats, PARCEL_HEADER_BYTES};
 pub use wire::{from_bytes, to_bytes, WireError};

@@ -1,0 +1,79 @@
+//! Eager MPI parcelport — two-sided sends through the MPI runtime
+//! (OpenMPI 4.1.4 in the paper). Semantically eager like TCP: `MPI_Isend`
+//! completes from the application's view on submission, with the library's
+//! internal progress hidden from the caller. The *difference* to TCP lives
+//! in the link model ([`rv_machine::NetBackend::Mpi`]): the matching layer
+//! and extra buffer copies triple the per-message CPU cost on the in-order
+//! boards — the driver behind Fig. 8's 1.55× (MPI) vs 1.85× (TCP) speedups.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use rv_machine::NetBackend;
+
+use crate::agas::LocalityId;
+use crate::stats::{PortSnapshot, PortStats};
+
+use super::{Deliver, Parcelport};
+
+/// The MPI backend.
+pub struct MpiParcelport {
+    deliver: Deliver,
+    stats: PortStats,
+    /// Sends matched by the (modelled) receive side. MPI's tag matching
+    /// means every frame costs a lookup; we count them so the cost hook's
+    /// higher `per_message_us` corresponds to an observable quantity.
+    matched: AtomicU64,
+}
+
+impl MpiParcelport {
+    /// Open the port, delivering through `deliver`.
+    pub fn new(deliver: Deliver) -> Self {
+        MpiParcelport {
+            deliver,
+            stats: PortStats::new(),
+            matched: AtomicU64::new(0),
+        }
+    }
+
+    /// Frames that went through the modelled matching layer.
+    pub fn matched_sends(&self) -> u64 {
+        self.matched.load(Ordering::Relaxed)
+    }
+}
+
+impl Parcelport for MpiParcelport {
+    fn backend(&self) -> NetBackend {
+        NetBackend::Mpi
+    }
+
+    fn transmit(&self, to: LocalityId, frame: Bytes) {
+        self.stats.record_frame(
+            frame.len() as u64,
+            crate::frame::decode_parcel_count(&frame),
+        );
+        self.matched.fetch_add(1, Ordering::Relaxed);
+        (self.deliver)(to, frame);
+    }
+
+    fn progress(&self) -> usize {
+        0 // library-internal progress; nothing observable to drive
+    }
+
+    fn flush(&self) {
+        // Eager completion: nothing in flight after transmit returns.
+    }
+
+    fn stats(&self) -> PortSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+        self.matched.store(0, Ordering::Relaxed);
+    }
+
+    fn observe_queue_depth(&self, depth: u64) {
+        self.stats.observe_queue_depth(depth);
+    }
+}

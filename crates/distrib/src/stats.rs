@@ -1,6 +1,17 @@
 //! Communication statistics — the measured quantities the Fig. 8 projection
 //! consumes (message counts and byte volumes per backend), plus the local
 //! action count that the unified local/remote syntax makes free.
+//!
+//! Two layers of counters exist since the parcelport refactor:
+//!
+//! * [`PortStats`] — owned by one [`crate::parcelport::Parcelport`]: frames
+//!   and bytes actually put on the (simulated) wire, parcels carried,
+//!   coalesced batches, and the outbox high-water mark. These are the
+//!   *measured* quantities: `bytes` is the length of the real framed wire
+//!   image, not an estimate.
+//! * [`NetStats`] — cluster-level action accounting (local vs remote
+//!   invocations). [`crate::Cluster::net_stats`] merges both into the
+//!   backwards-compatible [`NetSnapshot`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -85,9 +96,94 @@ impl NetSnapshot {
     }
 }
 
+/// Thread-safe counters owned by one parcelport instance.
+#[derive(Debug, Default)]
+pub struct PortStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    parcels: AtomicU64,
+    batches: AtomicU64,
+    queue_depth_hwm: AtomicU64,
+}
+
+/// Immutable snapshot of [`PortStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortSnapshot {
+    /// Frames put on the wire (a coalesced batch counts once).
+    pub messages: u64,
+    /// Total framed bytes on the wire (headers included, measured).
+    pub bytes: u64,
+    /// Parcels carried (a batch of k parcels adds k).
+    pub parcels: u64,
+    /// Frames that were coalesced batches of two or more parcels.
+    pub batches: u64,
+    /// High-water mark of queued-but-unsent parcels/frames (coalescer
+    /// pending + explicit-progress outbox).
+    pub queue_depth_hwm: u64,
+}
+
+impl PortStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one frame of `frame_bytes` carrying `parcels` parcels.
+    pub fn record_frame(&self, frame_bytes: u64, parcels: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(frame_bytes, Ordering::Relaxed);
+        self.parcels.fetch_add(parcels, Ordering::Relaxed);
+        if parcels >= 2 {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the queue-depth high-water mark to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters.
+    pub fn snapshot(&self) -> PortSnapshot {
+        PortSnapshot {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            parcels: self.parcels.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero all counters (high-water mark included).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.parcels.store(0, Ordering::Relaxed);
+        self.batches.store(0, Ordering::Relaxed);
+        self.queue_depth_hwm.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn port_stats_count_frames_parcels_batches() {
+        let s = PortStats::new();
+        s.record_frame(100, 1);
+        s.record_frame(300, 4);
+        s.observe_queue_depth(3);
+        s.observe_queue_depth(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages, 2);
+        assert_eq!(snap.bytes, 400);
+        assert_eq!(snap.parcels, 5);
+        assert_eq!(snap.batches, 1, "only the 4-parcel frame is a batch");
+        assert_eq!(snap.queue_depth_hwm, 3, "hwm keeps the maximum");
+        s.reset();
+        assert_eq!(s.snapshot(), PortSnapshot::default());
+    }
 
     #[test]
     fn message_recording_includes_header() {

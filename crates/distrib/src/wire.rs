@@ -8,12 +8,23 @@
 //! `u32`, enum variants as a `u32` index, `Option` as a one-byte tag,
 //! sequences/strings length-prefixed. `deserialize_any` is unsupported by
 //! design — parcels are decoded against a known schema.
+//!
+//! The serde plumbing lives in the `enc` (serializer) and `dec`
+//! (deserializer) submodules; this module owns the public API and the
+//! error type.
+
+mod dec;
+mod enc;
 
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use bytes::Bytes;
+use serde::de;
+use serde::de::DeserializeOwned;
 use serde::ser::{self, Serialize};
+
+use dec::Decoder;
+use enc::Encoder;
 
 /// Errors from encoding or decoding a parcel payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,515 +72,22 @@ impl de::Error for WireError {
 
 /// Encode `value` into a freshly allocated byte buffer.
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Bytes, WireError> {
-    let mut ser = Encoder {
-        out: BytesMut::with_capacity(64),
-    };
+    let mut ser = Encoder::new();
     value.serialize(&mut ser)?;
-    Ok(ser.out.freeze())
+    Ok(ser.finish())
 }
 
 /// Decode a `T` from `bytes`; the whole buffer must be consumed.
 pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
-    let mut de = Decoder { input: bytes };
+    let mut de = Decoder::new(bytes);
     let v = T::deserialize(&mut de)?;
-    if !de.input.is_empty() {
+    if de.remaining() != 0 {
         return Err(WireError::Message(format!(
             "{} trailing bytes after decode",
-            de.input.len()
+            de.remaining()
         )));
     }
     Ok(v)
-}
-
-struct Encoder {
-    out: BytesMut,
-}
-
-impl Encoder {
-    fn put_len(&mut self, len: usize) -> Result<(), WireError> {
-        let len32 = u32::try_from(len).map_err(|_| WireError::BadLength)?;
-        self.out.put_u32_le(len32);
-        Ok(())
-    }
-}
-
-impl<'a> ser::Serializer for &'a mut Encoder {
-    type Ok = ();
-    type Error = WireError;
-    type SerializeSeq = Self;
-    type SerializeTuple = Self;
-    type SerializeTupleStruct = Self;
-    type SerializeTupleVariant = Self;
-    type SerializeMap = Self;
-    type SerializeStruct = Self;
-    type SerializeStructVariant = Self;
-
-    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
-        self.out.put_u8(u8::from(v));
-        Ok(())
-    }
-    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
-        self.out.put_i8(v);
-        Ok(())
-    }
-    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
-        self.out.put_i16_le(v);
-        Ok(())
-    }
-    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
-        self.out.put_i32_le(v);
-        Ok(())
-    }
-    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
-        self.out.put_i64_le(v);
-        Ok(())
-    }
-    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
-        self.out.put_u8(v);
-        Ok(())
-    }
-    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
-        self.out.put_u16_le(v);
-        Ok(())
-    }
-    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
-        self.out.put_u32_le(v);
-        Ok(())
-    }
-    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
-        self.out.put_u64_le(v);
-        Ok(())
-    }
-    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
-        self.out.put_f32_le(v);
-        Ok(())
-    }
-    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
-        self.out.put_f64_le(v);
-        Ok(())
-    }
-    fn serialize_char(self, v: char) -> Result<(), WireError> {
-        self.out.put_u32_le(v as u32);
-        Ok(())
-    }
-    fn serialize_str(self, v: &str) -> Result<(), WireError> {
-        self.put_len(v.len())?;
-        self.out.put_slice(v.as_bytes());
-        Ok(())
-    }
-    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
-        self.put_len(v.len())?;
-        self.out.put_slice(v);
-        Ok(())
-    }
-    fn serialize_none(self) -> Result<(), WireError> {
-        self.out.put_u8(0);
-        Ok(())
-    }
-    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), WireError> {
-        self.out.put_u8(1);
-        value.serialize(self)
-    }
-    fn serialize_unit(self) -> Result<(), WireError> {
-        Ok(())
-    }
-    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
-        Ok(())
-    }
-    fn serialize_unit_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-    ) -> Result<(), WireError> {
-        self.out.put_u32_le(variant_index);
-        Ok(())
-    }
-    fn serialize_newtype_struct<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        value.serialize(self)
-    }
-    fn serialize_newtype_variant<T: Serialize + ?Sized>(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        self.out.put_u32_le(variant_index);
-        value.serialize(self)
-    }
-    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len = len.ok_or(WireError::Unsupported("unsized sequences"))?;
-        self.put_len(len)?;
-        Ok(self)
-    }
-    fn serialize_tuple(self, _len: usize) -> Result<Self, WireError> {
-        Ok(self)
-    }
-    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
-        Ok(self)
-    }
-    fn serialize_tuple_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, WireError> {
-        self.out.put_u32_le(variant_index);
-        Ok(self)
-    }
-    fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len = len.ok_or(WireError::Unsupported("unsized maps"))?;
-        self.put_len(len)?;
-        Ok(self)
-    }
-    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
-        Ok(self)
-    }
-    fn serialize_struct_variant(
-        self,
-        _name: &'static str,
-        variant_index: u32,
-        _variant: &'static str,
-        _len: usize,
-    ) -> Result<Self, WireError> {
-        self.out.put_u32_le(variant_index);
-        Ok(self)
-    }
-}
-
-macro_rules! impl_seq_like {
-    ($trait:path, $method:ident) => {
-        impl<'a> $trait for &'a mut Encoder {
-            type Ok = ();
-            type Error = WireError;
-            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
-                value.serialize(&mut **self)
-            }
-            fn end(self) -> Result<(), WireError> {
-                Ok(())
-            }
-        }
-    };
-}
-
-impl_seq_like!(ser::SerializeSeq, serialize_element);
-impl_seq_like!(ser::SerializeTuple, serialize_element);
-impl_seq_like!(ser::SerializeTupleStruct, serialize_field);
-impl_seq_like!(ser::SerializeTupleVariant, serialize_field);
-
-impl<'a> ser::SerializeMap for &'a mut Encoder {
-    type Ok = ();
-    type Error = WireError;
-    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
-        key.serialize(&mut **self)
-    }
-    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), WireError> {
-        Ok(())
-    }
-}
-
-impl<'a> ser::SerializeStruct for &'a mut Encoder {
-    type Ok = ();
-    type Error = WireError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), WireError> {
-        Ok(())
-    }
-}
-
-impl<'a> ser::SerializeStructVariant for &'a mut Encoder {
-    type Ok = ();
-    type Error = WireError;
-    fn serialize_field<T: Serialize + ?Sized>(
-        &mut self,
-        _key: &'static str,
-        value: &T,
-    ) -> Result<(), WireError> {
-        value.serialize(&mut **self)
-    }
-    fn end(self) -> Result<(), WireError> {
-        Ok(())
-    }
-}
-
-struct Decoder<'de> {
-    input: &'de [u8],
-}
-
-impl<'de> Decoder<'de> {
-    fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
-        if self.input.len() < n {
-            return Err(WireError::Eof);
-        }
-        let (head, tail) = self.input.split_at(n);
-        self.input = tail;
-        Ok(head)
-    }
-    fn get_u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
-    }
-    fn get_u32(&mut self) -> Result<u32, WireError> {
-        let mut b = self.take(4)?;
-        Ok(b.get_u32_le())
-    }
-    fn get_len(&mut self) -> Result<usize, WireError> {
-        let len = self.get_u32()? as usize;
-        if len > self.input.len() {
-            // Lengths can never exceed what's left (elements ≥ 1 byte each
-            // except units; allow units by skipping this check for zero-size
-            // elements is impossible to know here — so only reject when the
-            // prefix alone exceeds the buffer).
-            if len > self.input.len().saturating_mul(8) + 64 {
-                return Err(WireError::BadLength);
-            }
-        }
-        Ok(len)
-    }
-}
-
-macro_rules! de_num {
-    ($name:ident, $visit:ident, $ty:ty, $n:expr, $get:ident) => {
-        fn $name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-            let mut b = self.take($n)?;
-            visitor.$visit(b.$get())
-        }
-    };
-}
-
-impl<'de, 'a> de::Deserializer<'de> for &'a mut Decoder<'de> {
-    type Error = WireError;
-
-    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
-        Err(WireError::Unsupported("deserialize_any"))
-    }
-
-    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        match self.get_u8()? {
-            0 => visitor.visit_bool(false),
-            1 => visitor.visit_bool(true),
-            t => Err(WireError::BadTag(t)),
-        }
-    }
-
-    de_num!(deserialize_i8, visit_i8, i8, 1, get_i8);
-    de_num!(deserialize_i16, visit_i16, i16, 2, get_i16_le);
-    de_num!(deserialize_i32, visit_i32, i32, 4, get_i32_le);
-    de_num!(deserialize_i64, visit_i64, i64, 8, get_i64_le);
-    de_num!(deserialize_u8, visit_u8, u8, 1, get_u8);
-    de_num!(deserialize_u16, visit_u16, u16, 2, get_u16_le);
-    de_num!(deserialize_u32, visit_u32, u32, 4, get_u32_le);
-    de_num!(deserialize_u64, visit_u64, u64, 8, get_u64_le);
-    de_num!(deserialize_f32, visit_f32, f32, 4, get_f32_le);
-    de_num!(deserialize_f64, visit_f64, f64, 8, get_f64_le);
-
-    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let c = self.get_u32()?;
-        visitor.visit_char(char::from_u32(c).ok_or(WireError::BadTag(0xFF))?)
-    }
-
-    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let len = self.get_len()?;
-        let bytes = self.take(len)?;
-        visitor.visit_borrowed_str(std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?)
-    }
-
-    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        self.deserialize_str(visitor)
-    }
-
-    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let len = self.get_len()?;
-        visitor.visit_borrowed_bytes(self.take(len)?)
-    }
-
-    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        self.deserialize_bytes(visitor)
-    }
-
-    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        match self.get_u8()? {
-            0 => visitor.visit_none(),
-            1 => visitor.visit_some(self),
-            t => Err(WireError::BadTag(t)),
-        }
-    }
-
-    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_unit_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_unit()
-    }
-
-    fn deserialize_newtype_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_newtype_struct(self)
-    }
-
-    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let len = self.get_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
-    }
-
-    fn deserialize_tuple<V: Visitor<'de>>(
-        self,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, left: len })
-    }
-
-    fn deserialize_tuple_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        len: usize,
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        self.deserialize_tuple(len, visitor)
-    }
-
-    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
-        let len = self.get_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
-    }
-
-    fn deserialize_struct<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        self.deserialize_tuple(fields.len(), visitor)
-    }
-
-    fn deserialize_enum<V: Visitor<'de>>(
-        self,
-        _name: &'static str,
-        _variants: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        visitor.visit_enum(EnumAccess { de: self })
-    }
-
-    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
-        Err(WireError::Unsupported("identifiers"))
-    }
-
-    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
-        Err(WireError::Unsupported("ignored_any"))
-    }
-
-    fn is_human_readable(&self) -> bool {
-        false
-    }
-}
-
-struct Counted<'a, 'de> {
-    de: &'a mut Decoder<'de>,
-    left: usize,
-}
-
-impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
-    type Error = WireError;
-    fn next_element_seed<S: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: S,
-    ) -> Result<Option<S::Value>, WireError> {
-        if self.left == 0 {
-            return Ok(None);
-        }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
-    }
-}
-
-impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
-    type Error = WireError;
-    fn next_key_seed<S: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: S,
-    ) -> Result<Option<S::Value>, WireError> {
-        if self.left == 0 {
-            return Ok(None);
-        }
-        self.left -= 1;
-        seed.deserialize(&mut *self.de).map(Some)
-    }
-    fn next_value_seed<S: de::DeserializeSeed<'de>>(
-        &mut self,
-        seed: S,
-    ) -> Result<S::Value, WireError> {
-        seed.deserialize(&mut *self.de)
-    }
-    fn size_hint(&self) -> Option<usize> {
-        Some(self.left)
-    }
-}
-
-struct EnumAccess<'a, 'de> {
-    de: &'a mut Decoder<'de>,
-}
-
-impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
-    type Error = WireError;
-    type Variant = Self;
-    fn variant_seed<S: de::DeserializeSeed<'de>>(
-        self,
-        seed: S,
-    ) -> Result<(S::Value, Self), WireError> {
-        let idx = self.de.get_u32()?;
-        let val = seed.deserialize(idx.into_deserializer())?;
-        Ok((val, self))
-    }
-}
-
-impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
-    type Error = WireError;
-    fn unit_variant(self) -> Result<(), WireError> {
-        Ok(())
-    }
-    fn newtype_variant_seed<S: de::DeserializeSeed<'de>>(
-        self,
-        seed: S,
-    ) -> Result<S::Value, WireError> {
-        seed.deserialize(self.de)
-    }
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
-        de::Deserializer::deserialize_tuple(self.de, len, visitor)
-    }
-    fn struct_variant<V: Visitor<'de>>(
-        self,
-        fields: &'static [&'static str],
-        visitor: V,
-    ) -> Result<V::Value, WireError> {
-        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
-    }
 }
 
 #[cfg(test)]
@@ -662,7 +180,10 @@ mod tests {
     #[test]
     fn truncated_input_rejected() {
         let b = to_bytes(&vec![1u64, 2, 3]).unwrap();
-        assert_eq!(from_bytes::<Vec<u64>>(&b[..b.len() - 1]), Err(WireError::Eof));
+        assert_eq!(
+            from_bytes::<Vec<u64>>(&b[..b.len() - 1]),
+            Err(WireError::Eof)
+        );
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Serde deserializer for the wire format (see the parent module docs for
+//! the encoding rules).
+
+use bytes::Buf;
+use serde::de::{self, IntoDeserializer, Visitor};
+
+use super::WireError;
+
+pub(super) struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    pub(super) fn new(input: &'de [u8]) -> Self {
+        Decoder { input }
+    }
+
+    /// Bytes not yet consumed (a strict decode must end at 0).
+    pub(super) fn remaining(&self) -> usize {
+        self.input.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
+        if self.input.len() < n {
+            return Err(WireError::Eof);
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+    fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+    fn get_u32(&mut self) -> Result<u32, WireError> {
+        let mut b = self.take(4)?;
+        Ok(b.get_u32_le())
+    }
+    fn get_len(&mut self) -> Result<usize, WireError> {
+        let len = self.get_u32()? as usize;
+        if len > self.input.len() {
+            // Lengths can never exceed what's left (elements ≥ 1 byte each
+            // except units; allow units by skipping this check for zero-size
+            // elements is impossible to know here — so only reject when the
+            // prefix alone exceeds the buffer).
+            if len > self.input.len().saturating_mul(8) + 64 {
+                return Err(WireError::BadLength);
+            }
+        }
+        Ok(len)
+    }
+}
+
+macro_rules! de_num {
+    ($name:ident, $visit:ident, $ty:ty, $n:expr, $get:ident) => {
+        fn $name<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            let mut b = self.take($n)?;
+            visitor.$visit(b.$get())
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::Unsupported("deserialize_any"))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.get_u8()? {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    de_num!(deserialize_i8, visit_i8, i8, 1, get_i8);
+    de_num!(deserialize_i16, visit_i16, i16, 2, get_i16_le);
+    de_num!(deserialize_i32, visit_i32, i32, 4, get_i32_le);
+    de_num!(deserialize_i64, visit_i64, i64, 8, get_i64_le);
+    de_num!(deserialize_u8, visit_u8, u8, 1, get_u8);
+    de_num!(deserialize_u16, visit_u16, u16, 2, get_u16_le);
+    de_num!(deserialize_u32, visit_u32, u32, 4, get_u32_le);
+    de_num!(deserialize_u64, visit_u64, u64, 8, get_u64_le);
+    de_num!(deserialize_f32, visit_f32, f32, 4, get_f32_le);
+    de_num!(deserialize_f64, visit_f64, f64, 8, get_f64_le);
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let c = self.get_u32()?;
+        visitor.visit_char(char::from_u32(c).ok_or(WireError::BadTag(0xFF))?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        let bytes = self.take(len)?;
+        visitor.visit_borrowed_str(std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        visitor.visit_borrowed_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.get_u8()? {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.get_len()?;
+        visitor.visit_map(Counted {
+            de: self,
+            left: len,
+        })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::Unsupported("identifiers"))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, WireError> {
+        Err(WireError::Unsupported("ignored_any"))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    left: usize,
+}
+
+impl<'a, 'de> de::SeqAccess<'de> for Counted<'a, 'de> {
+    type Error = WireError;
+    fn next_element_seed<S: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: S,
+    ) -> Result<Option<S::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'a, 'de> de::MapAccess<'de> for Counted<'a, 'de> {
+    type Error = WireError;
+    fn next_key_seed<S: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: S,
+    ) -> Result<Option<S::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<S: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: S,
+    ) -> Result<S::Value, WireError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'a, 'de> de::EnumAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = WireError;
+    type Variant = Self;
+    fn variant_seed<S: de::DeserializeSeed<'de>>(
+        self,
+        seed: S,
+    ) -> Result<(S::Value, Self), WireError> {
+        let idx = self.de.get_u32()?;
+        let val = seed.deserialize(idx.into_deserializer())?;
+        Ok((val, self))
+    }
+}
+
+impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
+    type Error = WireError;
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<S: de::DeserializeSeed<'de>>(
+        self,
+        seed: S,
+    ) -> Result<S::Value, WireError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}

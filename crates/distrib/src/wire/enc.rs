@@ -1,0 +1,243 @@
+//! Serde serializer for the wire format (see the parent module docs for
+//! the encoding rules).
+
+use bytes::{BufMut, Bytes, BytesMut};
+use serde::ser::{self, Serialize};
+
+use super::WireError;
+
+pub(super) struct Encoder {
+    out: BytesMut,
+}
+
+impl Encoder {
+    pub(super) fn new() -> Self {
+        Encoder {
+            out: BytesMut::with_capacity(64),
+        }
+    }
+
+    pub(super) fn finish(self) -> Bytes {
+        self.out.freeze()
+    }
+
+    fn put_len(&mut self, len: usize) -> Result<(), WireError> {
+        let len32 = u32::try_from(len).map_err(|_| WireError::BadLength)?;
+        self.out.put_u32_le(len32);
+        Ok(())
+    }
+}
+
+impl ser::Serializer for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.out.put_u8(u8::from(v));
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.out.put_i8(v);
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.out.put_i16_le(v);
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.out.put_i32_le(v);
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.out.put_i64_le(v);
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.out.put_u8(v);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.out.put_u16_le(v);
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.out.put_u32_le(v);
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.out.put_u64_le(v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.out.put_f32_le(v);
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.out.put_f64_le(v);
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), WireError> {
+        self.out.put_u32_le(v as u32);
+        Ok(())
+    }
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.put_len(v.len())?;
+        self.out.put_slice(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
+        self.put_len(v.len())?;
+        self.out.put_slice(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.out.put_u8(0);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), WireError> {
+        self.out.put_u8(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), WireError> {
+        self.out.put_u32_le(variant_index);
+        Ok(())
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        self.out.put_u32_le(variant_index);
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or(WireError::Unsupported("unsized sequences"))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or(WireError::Unsupported("unsized maps"))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self, WireError> {
+        self.out.put_u32_le(variant_index);
+        Ok(self)
+    }
+}
+
+macro_rules! impl_seq_like {
+    ($trait:path, $method:ident) => {
+        impl<'a> $trait for &'a mut Encoder {
+            type Ok = ();
+            type Error = WireError;
+            fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), WireError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+impl_seq_like!(ser::SerializeSeq, serialize_element);
+impl_seq_like!(ser::SerializeTuple, serialize_element);
+impl_seq_like!(ser::SerializeTupleStruct, serialize_field);
+impl_seq_like!(ser::SerializeTupleVariant, serialize_field);
+
+impl ser::SerializeMap for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), WireError> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the full parcel wire path: serialize → frame →
+//! (split) deframe → deserialize, over arbitrary parcels, arbitrary
+//! single/batch frame mixes, and arbitrary stream chunking — the invariant
+//! every parcelport relies on.
+
+use bytes::Bytes;
+use distrib::frame::{encode_batch, encode_single, FrameDecoder};
+use distrib::{Agas, LocalityId, ParcelMsg};
+use proptest::prelude::*;
+
+/// Arbitrary parcels. Gids come out of a real `Agas` so they carry the same
+/// creator/sequence bit packing production gids have.
+fn arb_parcel() -> impl Strategy<Value = ParcelMsg> {
+    let request = (
+        0..64u32,
+        0..64u32,
+        0..200u64,
+        ".{0,24}",
+        proptest::collection::vec(any::<u8>(), 0..2048),
+        any::<u64>(),
+    )
+        .prop_map(|(from, creator, skip, action, payload, call_id)| {
+            let agas = Agas::new();
+            for _ in 0..skip {
+                agas.new_gid(LocalityId(creator));
+            }
+            ParcelMsg::Request {
+                from: LocalityId(from),
+                target: agas.new_gid(LocalityId(creator)),
+                action,
+                payload,
+                call_id,
+            }
+        });
+    let response = (
+        any::<u64>(),
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..2048).prop_map(Ok),
+            ".{0,80}".prop_map(Err),
+        ],
+    )
+        .prop_map(|(call_id, result)| ParcelMsg::Response { call_id, result });
+    prop_oneof![request, response]
+}
+
+/// Feed `stream` to a fresh decoder, split at the (deduplicated, sorted)
+/// cut points, and return every parcel body it yields. Checks the decoder
+/// ends cleanly at a frame boundary.
+fn feed_split(stream: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut idx: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
+    idx.sort_unstable();
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    let mut prev = 0;
+    for i in idx {
+        got.extend(dec.feed(&stream[prev..i]).expect("valid stream"));
+        prev = i;
+    }
+    got.extend(dec.feed(&stream[prev..]).expect("valid stream"));
+    assert!(dec.is_clean(), "stream must end on a frame boundary");
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// wire encode/decode alone is lossless for any parcel.
+    #[test]
+    fn parcel_wire_roundtrip(p in arb_parcel()) {
+        let bytes = p.to_wire().unwrap();
+        prop_assert_eq!(ParcelMsg::from_wire(&bytes).unwrap(), p);
+    }
+
+    /// A stream of single-parcel frames survives arbitrary chunk splits.
+    #[test]
+    fn single_frames_roundtrip_under_any_split(
+        parcels in proptest::collection::vec(arb_parcel(), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for p in &parcels {
+            stream.extend_from_slice(&encode_single(&p.to_wire().unwrap()));
+        }
+        let bodies = feed_split(&stream, &cuts);
+        prop_assert_eq!(bodies.len(), parcels.len());
+        for (body, p) in bodies.iter().zip(&parcels) {
+            prop_assert_eq!(&ParcelMsg::from_wire(body).unwrap(), p);
+        }
+    }
+
+    /// One coalesced batch frame survives byte-at-a-time delivery.
+    #[test]
+    fn batch_frame_roundtrips_byte_at_a_time(
+        parcels in proptest::collection::vec(arb_parcel(), 1..10),
+    ) {
+        let wires: Vec<Bytes> = parcels.iter().map(|p| p.to_wire().unwrap()).collect();
+        let frame = encode_batch(&wires);
+        let mut dec = FrameDecoder::new();
+        let mut bodies = Vec::new();
+        for b in frame.iter() {
+            bodies.extend(dec.feed(&[*b]).unwrap());
+        }
+        prop_assert!(dec.is_clean());
+        prop_assert_eq!(bodies.len(), parcels.len());
+        for (body, p) in bodies.iter().zip(&parcels) {
+            prop_assert_eq!(&ParcelMsg::from_wire(body).unwrap(), p);
+        }
+    }
+
+    /// A mixed stream of single and batch frames — what a coalescing sender
+    /// actually produces — preserves parcel order under arbitrary splits.
+    #[test]
+    fn mixed_frame_stream_preserves_order(
+        groups in proptest::collection::vec(
+            proptest::collection::vec(arb_parcel(), 1..5), 1..5),
+        cuts in proptest::collection::vec(any::<usize>(), 0..16),
+    ) {
+        let mut stream = Vec::new();
+        let mut expected = Vec::new();
+        for group in &groups {
+            let wires: Vec<Bytes> =
+                group.iter().map(|p| p.to_wire().unwrap()).collect();
+            // The coalescer frames a lone survivor as a single, a fuller
+            // queue as a batch: mirror that here.
+            if wires.len() == 1 {
+                stream.extend_from_slice(&encode_single(&wires[0]));
+            } else {
+                stream.extend_from_slice(&encode_batch(&wires));
+            }
+            expected.extend(group.iter().cloned());
+        }
+        let bodies = feed_split(&stream, &cuts);
+        let decoded: Vec<ParcelMsg> = bodies
+            .iter()
+            .map(|b| ParcelMsg::from_wire(b).unwrap())
+            .collect();
+        prop_assert_eq!(decoded, expected);
+    }
+}

@@ -30,7 +30,13 @@ where
 }
 
 /// `Kokkos::parallel_reduce` over a 1-D range with a custom joiner.
-pub fn parallel_reduce<S, R, M, J>(space: &S, policy: RangePolicy, identity: R, map: M, join: J) -> R
+pub fn parallel_reduce<S, R, M, J>(
+    space: &S,
+    policy: RangePolicy,
+    identity: R,
+    map: M,
+    join: J,
+) -> R
 where
     S: ExecutionSpace,
     R: Send + Clone,
@@ -230,7 +236,9 @@ mod tests {
         let s = parallel_reduce_sum(&hpx, RangePolicy::new(1, 101), |i| i as f64);
         assert_eq!(s, 5050.0);
         let m = parallel_reduce_max(&hpx, RangePolicy::new(0, 100), |i| ((i * 37) % 91) as f64);
-        let want = (0..100).map(|i| ((i * 37) % 91) as f64).fold(f64::NEG_INFINITY, f64::max);
+        let want = (0..100)
+            .map(|i| ((i * 37) % 91) as f64)
+            .fold(f64::NEG_INFINITY, f64::max);
         assert_eq!(m, want);
     }
 

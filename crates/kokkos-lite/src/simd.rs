@@ -63,9 +63,9 @@ impl<const W: usize> Simd<W> {
     /// Fused multiply-add: `self * b + c` per lane.
     #[inline]
     pub fn mul_add(self, b: Self, c: Self) -> Self {
-        let mut out = [0.0; W];
-        for i in 0..W {
-            out[i] = self.0[i].mul_add(b.0[i], c.0[i]);
+        let mut out = self.0;
+        for (o, (b, c)) in out.iter_mut().zip(b.0.iter().zip(c.0.iter())) {
+            *o = o.mul_add(*b, *c);
         }
         Simd(out)
     }
@@ -85,9 +85,9 @@ impl<const W: usize> Simd<W> {
     /// Lane-wise maximum.
     #[inline]
     pub fn max(self, other: Self) -> Self {
-        let mut out = [0.0; W];
-        for i in 0..W {
-            out[i] = self.0[i].max(other.0[i]);
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0.iter()) {
+            *o = o.max(*b);
         }
         Simd(out)
     }
@@ -95,9 +95,9 @@ impl<const W: usize> Simd<W> {
     /// Lane-wise square root.
     #[inline]
     pub fn sqrt(self) -> Self {
-        let mut out = [0.0; W];
-        for i in 0..W {
-            out[i] = self.0[i].sqrt();
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = o.sqrt();
         }
         Simd(out)
     }
@@ -128,9 +128,9 @@ impl<const W: usize> std::ops::Neg for Simd<W> {
     type Output = Self;
     #[inline]
     fn neg(self) -> Self {
-        let mut out = [0.0; W];
-        for i in 0..W {
-            out[i] = -self.0[i];
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = -*o;
         }
         Simd(out)
     }

@@ -28,7 +28,13 @@ pub trait ExecutionSpace: Clone + Send + Sync {
         F: Fn(usize) + Send + Sync;
 
     /// Fold `map(i)` over `range` with the associative `join`.
-    fn reduce_range<R, M, J>(&self, range: std::ops::Range<usize>, identity: R, map: M, join: J) -> R
+    fn reduce_range<R, M, J>(
+        &self,
+        range: std::ops::Range<usize>,
+        identity: R,
+        map: M,
+        join: J,
+    ) -> R
     where
         R: Send + Clone,
         M: Fn(usize) -> R + Send + Sync,
@@ -57,7 +63,13 @@ impl ExecutionSpace for Serial {
         }
     }
 
-    fn reduce_range<R, M, J>(&self, range: std::ops::Range<usize>, identity: R, map: M, join: J) -> R
+    fn reduce_range<R, M, J>(
+        &self,
+        range: std::ops::Range<usize>,
+        identity: R,
+        map: M,
+        join: J,
+    ) -> R
     where
         R: Send + Clone,
         M: Fn(usize) -> R + Send + Sync,
@@ -126,7 +138,13 @@ impl ExecutionSpace for HpxSpace {
         par::for_loop_chunked(&self.handle, ExecutionPolicy::Par, range, chunks, f);
     }
 
-    fn reduce_range<R, M, J>(&self, range: std::ops::Range<usize>, identity: R, map: M, join: J) -> R
+    fn reduce_range<R, M, J>(
+        &self,
+        range: std::ops::Range<usize>,
+        identity: R,
+        map: M,
+        join: J,
+    ) -> R
     where
         R: Send + Clone,
         M: Fn(usize) -> R + Send + Sync,
@@ -179,7 +197,8 @@ mod tests {
     #[test]
     fn hpx_space_reduce_matches_serial() {
         let rt = Runtime::new(3);
-        let par = HpxSpace::new(rt.handle()).reduce_range(0..5000, 0u64, |i| i as u64, |a, b| a + b);
+        let par =
+            HpxSpace::new(rt.handle()).reduce_range(0..5000, 0u64, |i| i as u64, |a, b| a + b);
         let ser = Serial.reduce_range(0..5000, 0u64, |i| i as u64, |a, b| a + b);
         assert_eq!(par, ser);
     }
@@ -193,7 +212,10 @@ mod tests {
         rt.reset_stats();
         HpxSpace::with_chunks(rt.handle(), 8).for_range(0..1000, |_| {});
         let eight = rt.stats().tasks_spawned;
-        assert!(eight > two, "more chunks must mean more tasks ({two} vs {eight})");
+        assert!(
+            eight > two,
+            "more chunks must mean more tasks ({two} vs {eight})"
+        );
     }
 
     #[test]

@@ -109,12 +109,8 @@ impl<T> View<T> {
             &self.dims[..self.rank]
         );
         match self.layout {
-            Layout::Right => {
-                ((i * self.dims[1] + j) * self.dims[2] + k) * self.dims[3] + l
-            }
-            Layout::Left => {
-                ((l * self.dims[2] + k) * self.dims[1] + j) * self.dims[0] + i
-            }
+            Layout::Right => ((i * self.dims[1] + j) * self.dims[2] + k) * self.dims[3] + l,
+            Layout::Left => ((l * self.dims[2] + k) * self.dims[1] + j) * self.dims[0] + i,
         }
     }
 

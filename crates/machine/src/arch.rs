@@ -189,7 +189,9 @@ impl CpuArch {
     /// reproduced with the factor included, so we follow the paper.
     pub fn peak_gflops(self, cores: u32) -> f64 {
         let s = self.spec();
-        2.0 * s.clock_ghz * f64::from(s.vector.lanes()) * f64::from(s.fpu_per_core)
+        2.0 * s.clock_ghz
+            * f64::from(s.vector.lanes())
+            * f64::from(s.fpu_per_core)
             * f64::from(cores)
     }
 

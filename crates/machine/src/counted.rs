@@ -212,7 +212,11 @@ pub mod softmath {
         FlopCounter::record(FlopKind::LogCall);
         if x <= 0.0 {
             FlopCounter::record(FlopKind::Cmp);
-            return if x == 0.0 { f64::NEG_INFINITY } else { f64::NAN };
+            return if x == 0.0 {
+                f64::NEG_INFINITY
+            } else {
+                f64::NAN
+            };
         }
         // Exponent/mantissa split is integer work (free), mirroring frexp.
         let bits = x.to_bits();
@@ -264,7 +268,7 @@ pub mod softmath {
         let y = y.clamp(-745.0, 709.0);
         let kf = mul(y, std::f64::consts::LOG2_E).round();
         FlopCounter::record(FlopKind::Cmp); // round
-        // r = y - k*ln2 in two pieces (compensated reduction).
+                                            // r = y - k*ln2 in two pieces (compensated reduction).
         let r_hi = add(y, -mul(kf, LN2_HI));
         let r = add(r_hi, -mul(kf, LN2_LO));
         // Degree-11 Horner for e^r: plain steps for the small high-order

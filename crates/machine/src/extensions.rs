@@ -77,12 +77,16 @@ pub struct WhatIfWorkload {
 
 /// Projected time of the workload on a *baseline* RISC-V board.
 pub fn baseline_seconds(arch: CpuArch, cores: u32, w: &WhatIfWorkload) -> f64 {
-    assert!(arch.is_riscv(), "what-if extensions target the RISC-V boards");
+    assert!(
+        arch.is_riscv(),
+        "what-if extensions target the RISC-V boards"
+    );
     let cm = CostModel::new(arch);
     let clock = arch.spec().clock_ghz * 1e9;
     let t_flops = cm.flop_seconds(w.transcendental_flops + w.plain_flops);
     let t_events = (w.task_events as f64
-        * (cm.event_cycles(RuntimeEvent::ContextSwitch) + cm.event_cycles(RuntimeEvent::TaskSpawn))
+        * (cm.event_cycles(RuntimeEvent::ContextSwitch)
+            + cm.event_cycles(RuntimeEvent::TaskSpawn))
         + w.queue_events as f64 * cm.event_cycles(RuntimeEvent::Steal)
         + w.atomic_events as f64 * cm.event_cycles(RuntimeEvent::AtomicRmw))
         / clock;
@@ -90,13 +94,11 @@ pub fn baseline_seconds(arch: CpuArch, cores: u32, w: &WhatIfWorkload) -> f64 {
 }
 
 /// Projected time with one extension enabled.
-pub fn extended_seconds(
-    arch: CpuArch,
-    cores: u32,
-    w: &WhatIfWorkload,
-    ext: IsaExtension,
-) -> f64 {
-    assert!(arch.is_riscv(), "what-if extensions target the RISC-V boards");
+pub fn extended_seconds(arch: CpuArch, cores: u32, w: &WhatIfWorkload, ext: IsaExtension) -> f64 {
+    assert!(
+        arch.is_riscv(),
+        "what-if extensions target the RISC-V boards"
+    );
     let cm = CostModel::new(arch);
     let clock = arch.spec().clock_ghz * 1e9;
     let mut trans = w.transcendental_flops as f64;
@@ -111,8 +113,8 @@ pub fn extended_seconds(
         IsaExtension::ExtendedAtomics => atomic_cost = 4.0,
         IsaExtension::HardwareExponent => {
             // §8: ⌈2e⌉+3 → 4 flop-equivalents per exponent step.
-            trans *= f64::from(CostModel::HARDWARE_EXP_FLOPS)
-                / f64::from(CostModel::SOFTWARE_EXP_FLOPS);
+            trans *=
+                f64::from(CostModel::HARDWARE_EXP_FLOPS) / f64::from(CostModel::SOFTWARE_EXP_FLOPS);
         }
         IsaExtension::HardwareTaskQueues => steal_cost = 1.0,
         IsaExtension::Vector128 => {
@@ -163,7 +165,12 @@ mod tests {
 
     #[test]
     fn hardware_exp_halves_pow_bound_work() {
-        let s = speedup(CpuArch::RiscvU74, 4, &pow_bound(), IsaExtension::HardwareExponent);
+        let s = speedup(
+            CpuArch::RiscvU74,
+            4,
+            &pow_bound(),
+            IsaExtension::HardwareExponent,
+        );
         // 95% of flops shrink by 9/4 ≈ 2.25 ⇒ ≈2.1× overall.
         assert!((1.8..2.3).contains(&s), "hardware-exp speedup {s}");
     }

@@ -104,7 +104,10 @@ mod tests {
         let t_rv = MemoryModel::new(CpuArch::Jh7110).phase_seconds(flops, bytes, 4);
         let t_a64 = MemoryModel::new(CpuArch::A64fx).phase_seconds(flops, bytes, 4);
         let ratio = t_rv / t_a64;
-        assert!(ratio > 5.0, "memory-bound gap {ratio} should exceed the ≈5× compute gap");
+        assert!(
+            ratio > 5.0,
+            "memory-bound gap {ratio} should exceed the ≈5× compute gap"
+        );
     }
 
     #[test]
@@ -135,6 +138,9 @@ mod tests {
     #[test]
     fn zero_cores_clamped_to_one() {
         let m = MemoryModel::new(CpuArch::Jh7110);
-        assert_eq!(m.phase_seconds(1000, 1000, 0), m.phase_seconds(1000, 1000, 1));
+        assert_eq!(
+            m.phase_seconds(1000, 1000, 0),
+            m.phase_seconds(1000, 1000, 1)
+        );
     }
 }

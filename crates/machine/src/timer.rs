@@ -136,7 +136,10 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         let b = t.now_ticks();
         let secs = t.seconds_between(a, b);
-        assert!(secs >= 0.015 && secs < 0.5, "measured {secs}s for a 20ms sleep");
+        assert!(
+            (0.015..0.5).contains(&secs),
+            "measured {secs}s for a 20ms sleep"
+        );
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use rv_machine::NetBackend;
+
 use crate::kernel_backend::KernelType;
 
 /// Full configuration of a rotating-star run.
@@ -30,6 +32,9 @@ pub struct OctoConfig {
     pub monopole_kernel: KernelType,
     /// Worker threads (`--hpx:threads`).
     pub threads: usize,
+    /// Parcelport backend for distributed runs (`--hpx:parcelport`,
+    /// TCP / MPI / LCI as in §2.1).
+    pub parcelport: NetBackend,
     /// CFL safety factor for the hydro time step.
     pub cfl: f64,
     /// Density threshold (relative to the star's central density) above
@@ -49,6 +54,7 @@ impl Default for OctoConfig {
             multipole_kernel: KernelType::KokkosSerial,
             monopole_kernel: KernelType::KokkosSerial,
             threads: 4,
+            parcelport: NetBackend::Tcp,
             cfl: 0.4,
             refine_density_frac: 1.0e-4,
         }
@@ -94,6 +100,7 @@ impl OctoConfig {
                 "theta" => cfg.theta = parse(key, value)?,
                 "cfl" => cfg.cfl = parse(key, value)?,
                 "hpx:threads" => cfg.threads = parse(key, value)?,
+                "hpx:parcelport" => cfg.parcelport = NetBackend::parse(value)?,
                 "hydro_host_kernel_type" => cfg.hydro_kernel = KernelType::parse(value)?,
                 "multipole_host_kernel_type" => cfg.multipole_kernel = KernelType::parse(value)?,
                 "monopole_host_kernel_type" => cfg.monopole_kernel = KernelType::parse(value)?,
@@ -116,7 +123,10 @@ impl OctoConfig {
             return Err("threads must be >= 1".into());
         }
         if self.max_level > 8 {
-            return Err(format!("max_level {} too deep for this mini-app", self.max_level));
+            return Err(format!(
+                "max_level {} too deep for this mini-app",
+                self.max_level
+            ));
         }
         Ok(())
     }
@@ -180,6 +190,21 @@ mod tests {
         assert!(OctoConfig::from_args(["--cfl=0"]).is_err());
         assert!(OctoConfig::from_args(["--hpx:threads=0"]).is_err());
         assert!(OctoConfig::from_args(["--hydro_host_kernel_type=CUDA"]).is_err());
+        assert!(OctoConfig::from_args(["--hpx:parcelport=infiniband"]).is_err());
+    }
+
+    #[test]
+    fn parses_every_parcelport_name() {
+        for (name, backend) in [
+            ("tcp", NetBackend::Tcp),
+            ("mpi", NetBackend::Mpi),
+            ("lci", NetBackend::Lci),
+            ("LCI", NetBackend::Lci),
+        ] {
+            let c = OctoConfig::from_args([format!("--hpx:parcelport={name}").as_str()]).unwrap();
+            assert_eq!(c.parcelport, backend);
+        }
+        assert_eq!(OctoConfig::default().parcelport, NetBackend::Tcp);
     }
 
     #[test]

@@ -20,7 +20,9 @@
 use serde::{Deserialize, Serialize};
 
 use amt::par::scope;
-use distrib::{Cluster, ClusterConfig, Gid, LocalityHandle, NetSnapshot};
+use distrib::{
+    Cluster, ClusterConfig, CoalesceConfig, Gid, LocalityHandle, NetSnapshot, PortSnapshot,
+};
 use rv_machine::NetBackend;
 
 use crate::config::OctoConfig;
@@ -32,6 +34,9 @@ use crate::octree::{NodeId, Octree};
 use crate::star::RotatingStar;
 use crate::subgrid::Face;
 
+/// Ghost data gathered for one leaf: one boundary slab per face.
+type FaceSlabs = Vec<(Face, Vec<f64>)>;
+
 /// Configuration of a distributed run.
 #[derive(Debug, Clone, Copy)]
 pub struct DistConfig {
@@ -41,6 +46,8 @@ pub struct DistConfig {
     pub threads_per_node: usize,
     /// Parcelport backend.
     pub backend: NetBackend,
+    /// Parcel-coalescing layer (off by default, like the paper's runs).
+    pub coalesce: CoalesceConfig,
     /// Application configuration.
     pub octo: OctoConfig,
 }
@@ -52,7 +59,20 @@ impl DistConfig {
             nodes,
             threads_per_node: 4,
             backend,
+            coalesce: CoalesceConfig::default(),
             octo: OctoConfig::default(),
+        }
+    }
+
+    /// Distributed configuration derived from a parsed [`OctoConfig`]: the
+    /// backend follows `--hpx:parcelport`, the thread count `--hpx:threads`.
+    pub fn from_octo(nodes: u32, octo: OctoConfig) -> Self {
+        DistConfig {
+            nodes,
+            threads_per_node: octo.threads,
+            backend: octo.parcelport,
+            coalesce: CoalesceConfig::default(),
+            octo,
         }
     }
 }
@@ -76,6 +96,9 @@ pub struct DistMetrics {
     pub cells_per_second: f64,
     /// Wire statistics (messages, bytes) for the projection.
     pub net: NetSnapshot,
+    /// Raw parcelport counters (frames, parcels, coalesced batches, queue
+    /// high-water mark).
+    pub port: PortSnapshot,
     /// Aggregate work counters across localities.
     pub work: WorkEstimate,
     /// Aggregate scheduler statistics across localities.
@@ -262,73 +285,80 @@ fn register_actions(cluster: &Cluster) {
 
     // Ghost fill + local CFL reduction: max(signal speed / dx) over owned
     // leaves.
-    cluster.register_action("local_max_rate", |ctx: &LocalityHandle, gid, (): ()| -> f64 {
-        let handle = ctx.runtime();
-        ctx.with_component::<Domain, _>(gid, |d| {
-            let targets = owned_leaves(d);
-            // Parallel gather of ghost data, serial apply.
-            let gathered: Vec<(NodeId, Vec<(Face, Vec<f64>)>)> = {
-                let tree = &d.tree;
-                let slots: Vec<std::sync::Mutex<Vec<(Face, Vec<f64>)>>> =
-                    (0..targets.len()).map(|_| std::sync::Mutex::new(Vec::new())).collect();
-                scope(&handle, |sc| {
-                    for (slot, &(_, leaf)) in slots.iter().zip(&targets) {
-                        sc.spawn(move || {
-                            let data: Vec<(Face, Vec<f64>)> = Face::ALL
-                                .into_iter()
-                                .map(|f| (f, tree.ghost_data_for(leaf, f)))
-                                .collect();
-                            *slot.lock().unwrap() = data;
-                        });
-                    }
-                });
-                targets
-                    .iter()
-                    .zip(slots)
-                    .map(|(&(_, leaf), slot)| (leaf, slot.into_inner().unwrap()))
-                    .collect()
-            };
-            for (leaf, faces) in gathered {
-                for (face, data) in faces {
-                    d.tree.apply_ghost(leaf, face, &data);
-                }
-            }
-            // Ghost-path accounting (values per face slab: NF × NG × NX²).
-            let slab_values = (crate::star::NF * crate::subgrid::NG * 8 * 8) as u64;
-            for (_, leaf) in owned_leaves(d) {
-                for face in Face::ALL {
-                    if d.tree.ghost_fast_path(leaf, face) {
-                        d.work.ghost_slab_bytes += slab_values * 8;
-                    } else {
-                        d.work.ghost_samples += slab_values;
+    cluster.register_action(
+        "local_max_rate",
+        |ctx: &LocalityHandle, gid, (): ()| -> f64 {
+            let handle = ctx.runtime();
+            ctx.with_component::<Domain, _>(gid, |d| {
+                let targets = owned_leaves(d);
+                // Parallel gather of ghost data, serial apply.
+                let gathered: Vec<(NodeId, FaceSlabs)> = {
+                    let tree = &d.tree;
+                    let slots: Vec<std::sync::Mutex<FaceSlabs>> = (0..targets.len())
+                        .map(|_| std::sync::Mutex::new(Vec::new()))
+                        .collect();
+                    scope(&handle, |sc| {
+                        for (slot, &(_, leaf)) in slots.iter().zip(&targets) {
+                            sc.spawn(move || {
+                                let data: FaceSlabs = Face::ALL
+                                    .into_iter()
+                                    .map(|f| (f, tree.ghost_data_for(leaf, f)))
+                                    .collect();
+                                *slot.lock().unwrap() = data;
+                            });
+                        }
+                    });
+                    targets
+                        .iter()
+                        .zip(slots)
+                        .map(|(&(_, leaf), slot)| (leaf, slot.into_inner().unwrap()))
+                        .collect()
+                };
+                for (leaf, faces) in gathered {
+                    for (face, data) in faces {
+                        d.tree.apply_ghost(leaf, face, &data);
                     }
                 }
-            }
-            let dispatch = Dispatch::new(d.cfg.hydro_kernel, &handle, 4);
-            let mut max_rate = 1e-30_f64;
-            for (_, leaf) in owned_leaves(d) {
-                let g = d.tree.subgrid(leaf);
-                max_rate = max_rate.max(hydro::max_signal_speed(g, &dispatch) / g.dx);
-            }
-            max_rate
-        })
-        .expect("domain component")
-    });
+                // Ghost-path accounting (values per face slab: NF × NG × NX²).
+                let slab_values = (crate::star::NF * crate::subgrid::NG * 8 * 8) as u64;
+                for (_, leaf) in owned_leaves(d) {
+                    for face in Face::ALL {
+                        if d.tree.ghost_fast_path(leaf, face) {
+                            d.work.ghost_slab_bytes += slab_values * 8;
+                        } else {
+                            d.work.ghost_samples += slab_values;
+                        }
+                    }
+                }
+                let dispatch = Dispatch::new(d.cfg.hydro_kernel, &handle, 4);
+                let mut max_rate = 1e-30_f64;
+                for (_, leaf) in owned_leaves(d) {
+                    let g = d.tree.subgrid(leaf);
+                    max_rate = max_rate.max(hydro::max_signal_speed(g, &dispatch) / g.dx);
+                }
+                max_rate
+            })
+            .expect("domain component")
+        },
+    );
 
     // P2M for owned leaves; stage the wire snapshot for the peer.
-    cluster.register_action("prepare_blocks", |ctx: &LocalityHandle, gid, (): ()| -> u64 {
-        ctx.with_component::<Domain, _>(gid, |d| {
-            d.blocks_snapshot = owned_leaves(d)
-                .into_iter()
-                .map(|(pos, leaf)| {
-                    let b = gravity::compute_blocks(d.tree.subgrid(leaf));
-                    (pos as u64, BlocksWire::from(&b))
-                })
-                .collect();
-            d.blocks_snapshot.len() as u64
-        })
-        .expect("domain component")
-    });
+    cluster.register_action(
+        "prepare_blocks",
+        |ctx: &LocalityHandle, gid, (): ()| -> u64 {
+            ctx.with_component::<Domain, _>(gid, |d| {
+                d.blocks_snapshot = owned_leaves(d)
+                    .into_iter()
+                    .map(|(pos, leaf)| {
+                        let b = gravity::compute_blocks(d.tree.subgrid(leaf));
+                        (pos as u64, BlocksWire::from(&b))
+                    })
+                    .collect();
+                d.blocks_snapshot.len() as u64
+            })
+            .expect("domain component")
+        },
+    );
 
     cluster.register_action(
         "get_blocks",
@@ -474,6 +504,7 @@ impl DistRun {
             localities: config.nodes,
             threads_per_locality: config.threads_per_node,
             backend: config.backend,
+            coalesce: config.coalesce,
         });
         register_actions(&cluster);
 
@@ -538,6 +569,8 @@ impl DistRun {
             .get();
         }
         let elapsed = start.elapsed().as_secs_f64();
+        // Close any open coalescer batches so the port counters are final.
+        cluster.flush_network();
 
         // Aggregate work counters.
         let mut work = WorkEstimate::default();
@@ -565,6 +598,7 @@ impl DistRun {
             elapsed_seconds: elapsed,
             cells_per_second: cells_processed as f64 / elapsed.max(1e-12),
             net: cluster.net_stats(),
+            port: cluster.port_stats(),
             work,
             runtime_stats: cluster.runtime_stats(),
             owned_per_node,
@@ -582,6 +616,7 @@ mod tests {
             nodes,
             threads_per_node: 2,
             backend,
+            coalesce: CoalesceConfig::default(),
             octo: OctoConfig {
                 max_level: 1,
                 stop_step: 2,
@@ -614,7 +649,11 @@ mod tests {
         assert_eq!(m.owned_per_node.iter().sum::<usize>(), m.leaf_count);
         // The x = 0 split of a centred star is balanced.
         let diff = m.owned_per_node[0].abs_diff(m.owned_per_node[1]);
-        assert!(diff <= m.leaf_count / 4, "imbalanced split: {:?}", m.owned_per_node);
+        assert!(
+            diff <= m.leaf_count / 4,
+            "imbalanced split: {:?}",
+            m.owned_per_node
+        );
     }
 
     #[test]
@@ -633,6 +672,42 @@ mod tests {
         // modelled link cost (consumed by the Fig. 8 projection).
         assert_eq!(t.net.messages, m.net.messages);
         assert_eq!(t.net.bytes, m.net.bytes);
+    }
+
+    #[test]
+    fn lci_backend_same_traffic_as_tcp() {
+        let t = DistRun::execute(tiny(2, NetBackend::Tcp));
+        let l = DistRun::execute(tiny(2, NetBackend::Lci));
+        // The explicit-progress port carries the identical communication
+        // pattern; only the modelled link cost differs.
+        assert_eq!(t.net.messages, l.net.messages);
+        assert_eq!(t.net.bytes, l.net.bytes);
+        assert_eq!(t.port.parcels, l.port.parcels);
+    }
+
+    #[test]
+    fn coalescing_preserves_parcels_and_never_inflates_frames() {
+        let base = DistRun::execute(tiny(2, NetBackend::Tcp));
+        let mut cfg = tiny(2, NetBackend::Tcp);
+        cfg.coalesce = CoalesceConfig::enabled();
+        let coal = DistRun::execute(cfg);
+        // Same application → same parcels; batching can only merge frames.
+        assert_eq!(coal.port.parcels, base.port.parcels);
+        assert!(
+            coal.port.messages <= base.port.messages,
+            "coalesced {} > baseline {}",
+            coal.port.messages,
+            base.port.messages
+        );
+        assert_eq!(base.port.batches, 0, "baseline runs uncoalesced");
+    }
+
+    #[test]
+    fn from_octo_honours_parcelport_flag() {
+        let octo = OctoConfig::from_args(["--hpx:parcelport=lci", "--hpx:threads=2"]).unwrap();
+        let cfg = DistConfig::from_octo(2, octo);
+        assert_eq!(cfg.backend, NetBackend::Lci);
+        assert_eq!(cfg.threads_per_node, 2);
     }
 
     #[test]

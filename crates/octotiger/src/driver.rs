@@ -178,7 +178,9 @@ impl Driver {
         // 3. Gravity: P2M (parallel) → M2M (serial) → FMM kernels (parallel).
         let blocks: Vec<Blocks> = {
             let tree = &self.tree;
-            par_map_leaves(&handle, tree, |leaf| gravity::compute_blocks(tree.subgrid(leaf)))
+            par_map_leaves(&handle, tree, |leaf| {
+                gravity::compute_blocks(tree.subgrid(leaf))
+            })
         };
         let moments: Vec<Moments> = gravity::upward_pass(&self.tree, &blocks);
         let leaf_pos = gravity::leaf_positions(&self.tree);
@@ -192,9 +194,8 @@ impl Driver {
             let theta = self.config.theta;
             par_map_leaves(&handle, tree, |leaf| {
                 let (far, near) = gravity::interaction_lists(tree, moments, leaf, theta);
-                let acc = gravity::accel_for_leaf(
-                    tree, moments, blocks, leaf_pos, leaf, theta, md, nd,
-                );
+                let acc =
+                    gravity::accel_for_leaf(tree, moments, blocks, leaf_pos, leaf, theta, md, nd);
                 (acc, far.len() as u64, near.len() as u64)
             })
         };
@@ -213,9 +214,7 @@ impl Driver {
         // 5. Apply hydro update + gravity source terms.
         let mut far_total = 0u64;
         let mut near_total = 0u64;
-        for ((&leaf, state), (acc, far, near)) in
-            leaves.iter().zip(new_states).zip(&accels)
-        {
+        for ((&leaf, state), (acc, far, near)) in leaves.iter().zip(new_states).zip(&accels) {
             let grid = self.tree.subgrid_mut(leaf);
             hydro::apply_interior(grid, &state);
             hydro::apply_gravity_source(grid, acc, dt);

@@ -71,12 +71,10 @@ impl Dispatch {
         match kind {
             KernelType::Legacy => Dispatch::Legacy,
             KernelType::KokkosSerial => Dispatch::KokkosSerial,
-            KernelType::KokkosHpx => {
-                Dispatch::KokkosHpx(kokkos_lite::HpxSpace::with_chunks(
-                    handle.clone(),
-                    tasks_per_kernel.max(1),
-                ))
-            }
+            KernelType::KokkosHpx => Dispatch::KokkosHpx(kokkos_lite::HpxSpace::with_chunks(
+                handle.clone(),
+                tasks_per_kernel.max(1),
+            )),
         }
     }
 
@@ -149,8 +147,14 @@ mod tests {
 
     #[test]
     fn parse_roundtrip() {
-        assert_eq!(KernelType::parse("KOKKOS").unwrap(), KernelType::KokkosSerial);
-        assert_eq!(KernelType::parse("KOKKOS_HPX").unwrap(), KernelType::KokkosHpx);
+        assert_eq!(
+            KernelType::parse("KOKKOS").unwrap(),
+            KernelType::KokkosSerial
+        );
+        assert_eq!(
+            KernelType::parse("KOKKOS_HPX").unwrap(),
+            KernelType::KokkosHpx
+        );
         assert_eq!(KernelType::parse("LEGACY").unwrap(), KernelType::Legacy);
         assert!(KernelType::parse("CUDA").is_err());
     }

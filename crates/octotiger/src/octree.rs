@@ -317,7 +317,14 @@ impl Octree {
         }
         let (origin, dx) = self.node_geometry(id);
         let cell = |x: f64, o: f64| (((x - o) / dx) as usize).min(NX - 1);
-        (id, [cell(q[0], origin[0]), cell(q[1], origin[1]), cell(q[2], origin[2])])
+        (
+            id,
+            [
+                cell(q[0], origin[0]),
+                cell(q[1], origin[1]),
+                cell(q[2], origin[2]),
+            ],
+        )
     }
 
     /// Sample conserved field `f` at physical position `p` (piecewise
@@ -521,7 +528,10 @@ mod tests {
             let (origin, dx) = t.node_geometry(leaf);
             for d in 0..3 {
                 let lo = origin[d] + cell[d] as f64 * dx;
-                assert!(p[d] >= lo - 1e-9 && p[d] <= lo + dx + 1e-9, "{p:?} axis {d}");
+                assert!(
+                    p[d] >= lo - 1e-9 && p[d] <= lo + dx + 1e-9,
+                    "{p:?} axis {d}"
+                );
             }
         }
     }
@@ -583,11 +593,15 @@ mod tests {
                 let ng = t.subgrid(nid);
                 let (i, j, k) = super::ghost_index(face, 0, 3, 4);
                 let p = g.cell_center(i, j, k);
-                let r = ng.at(field::RHO, {
-                    let (origin, dx) = t.node_geometry(nid);
-                    ((p[0] - origin[0]) / dx) as i64
-                }, ((p[1] - t.node_geometry(nid).0[1]) / t.node_geometry(nid).1) as i64,
-                   ((p[2] - t.node_geometry(nid).0[2]) / t.node_geometry(nid).1) as i64);
+                let r = ng.at(
+                    field::RHO,
+                    {
+                        let (origin, dx) = t.node_geometry(nid);
+                        ((p[0] - origin[0]) / dx) as i64
+                    },
+                    ((p[1] - t.node_geometry(nid).0[1]) / t.node_geometry(nid).1) as i64,
+                    ((p[2] - t.node_geometry(nid).0[2]) / t.node_geometry(nid).1) as i64,
+                );
                 assert_eq!(g.at(field::RHO, i, j, k), r);
                 checked += 1;
             }

@@ -63,7 +63,11 @@ impl<T: Clone + Default> RecyclePool<T> {
         if buf.capacity() == 0 {
             return;
         }
-        self.free.lock().entry(buf.capacity()).or_default().push(buf);
+        self.free
+            .lock()
+            .entry(buf.capacity())
+            .or_default()
+            .push(buf);
     }
 
     /// Reuse statistics.

@@ -76,7 +76,8 @@ impl RotatingStar {
         let k_poly = 4.0 * std::f64::consts::PI * alpha * alpha
             / ((POLY_N + 1.0) * central_density.powf(1.0 / POLY_N - 1.0));
         // M = 4π α³ ρ_c ξ₁² |θ'(ξ₁)|.
-        let mass = 4.0 * std::f64::consts::PI
+        let mass = 4.0
+            * std::f64::consts::PI
             * alpha.powi(3)
             * central_density
             * xi1
@@ -390,7 +391,12 @@ mod tests {
     #[test]
     fn energy_positive_everywhere() {
         let star = RotatingStar::paper_default();
-        for &(x, y, z) in &[(0.0, 0.0, 0.0), (0.3, 0.2, 0.1), (0.69, 0.0, 0.0), (0.9, 0.9, 0.9)] {
+        for &(x, y, z) in &[
+            (0.0, 0.0, 0.0),
+            (0.3, 0.2, 0.1),
+            (0.69, 0.0, 0.0),
+            (0.9, 0.9, 0.9),
+        ] {
             let u = star.conserved_at(x, y, z);
             assert!(u[field::EGAS] > 0.0);
             assert!(u[field::RHO] > 0.0);
@@ -461,9 +467,8 @@ mod tests {
         ] {
             let u = b.conserved_at(x, y, z);
             assert!(u[field::RHO] > 0.0);
-            let kinetic = 0.5
-                * (u[field::SX] * u[field::SX] + u[field::SY] * u[field::SY])
-                / u[field::RHO];
+            let kinetic =
+                0.5 * (u[field::SX] * u[field::SX] + u[field::SY] * u[field::SY]) / u[field::RHO];
             assert!(u[field::EGAS] >= kinetic, "positive internal energy");
         }
     }

@@ -368,13 +368,8 @@ mod tests {
             // The nearest ghost layer of b at face.opposite() equals a's
             // boundary layer at face.
             let probe = |g: &SubGrid, ghost: bool| -> f64 {
-                let (i, j, k) = super::face_cell(
-                    if ghost { face.opposite() } else { face },
-                    0,
-                    3,
-                    5,
-                    ghost,
-                );
+                let (i, j, k) =
+                    super::face_cell(if ghost { face.opposite() } else { face }, 0, 3, 5, ghost);
                 g.at(field::SX, i, j, k)
             };
             assert_eq!(probe(&b, true), probe(&a, false), "{face:?}");

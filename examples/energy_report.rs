@@ -28,7 +28,10 @@ fn main() {
     // finishes ≈7× sooner but draws more power.
     let t_riscv = 700.0;
     let t_a64fx = t_riscv / 7.0;
-    println!("\n{:<28} {:>6} {:>10} {:>10}", "configuration", "nodes", "watts", "joules");
+    println!(
+        "\n{:<28} {:>6} {:>10} {:>10}",
+        "configuration", "nodes", "watts", "joules"
+    );
     for (arch, nodes, t) in [
         (CpuArch::Jh7110, 1, t_riscv),
         (CpuArch::Jh7110, 2, t_riscv / 1.85),

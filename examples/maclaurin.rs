@@ -39,7 +39,11 @@ fn main() {
         );
         for arch in [CpuArch::Epyc7543, CpuArch::A64fx, CpuArch::RiscvU74] {
             let f = maclaurin_flops_per_sec(arch, 4, approach, &profile);
-            println!("    projected on {:<24} {:>10.3e} FLOP/s (4 cores)", arch.to_string(), f);
+            println!(
+                "    projected on {:<24} {:>10.3e} FLOP/s (4 cores)",
+                arch.to_string(),
+                f
+            );
         }
     }
     println!("\nerror vs ln(1+x): {:.2e}", {

@@ -11,7 +11,7 @@ fn main() {
     // 1. The HPX-like task runtime: futures, continuations, parallel
     //    algorithms.
     let rt = amt::Runtime::new(4);
-    let answer = rt.spawn(|| 6 * 7).then(|x| x + 0).get();
+    let answer = rt.spawn(|| 21).then(|x| x * 2).get();
     println!("amt: spawned future resolved to {answer}");
 
     let sum = amt::par::transform_reduce(

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, format, lint. Run from anywhere; operates on
+# the repository root. Fails fast on the first broken step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace -- -D warnings
+
+echo "CI OK"

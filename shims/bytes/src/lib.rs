@@ -1,0 +1,251 @@
+//! Minimal in-tree stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access and no cargo registry
+//! cache, so external crates cannot be fetched. This shim implements
+//! exactly the surface the workspace uses: `BytesMut` as a growable
+//! write buffer, `Bytes` as a cheaply-clonable frozen buffer, and the
+//! `Buf`/`BufMut` traits for little-endian primitive access.
+//!
+//! Semantics match the real crate for this subset, with one deliberate
+//! simplification: `Bytes` is an `Arc<[u8]>` (no sub-slice views into a
+//! shared allocation), which is all the workspace needs.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply clonable, immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// Growable byte buffer; `freeze()` converts it into [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+
+    pub fn extend_from_slice(&mut self, other: &[u8]) {
+        self.data.extend_from_slice(other)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! put_le {
+    ($($name:ident: $ty:ty),* $(,)?) => {
+        $(fn $name(&mut self, v: $ty) {
+            self.put_slice(&v.to_le_bytes());
+        })*
+    };
+}
+
+/// Write access to a growable buffer (little-endian helpers only).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&[v as u8]);
+    }
+
+    put_le! {
+        put_u16_le: u16, put_u32_le: u32, put_u64_le: u64,
+        put_i16_le: i16, put_i32_le: i32, put_i64_le: i64,
+        put_f32_le: f32, put_f64_le: f64,
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+macro_rules! get_le {
+    ($($name:ident: $ty:ty = $n:expr),* $(,)?) => {
+        $(fn $name(&mut self) -> $ty {
+            let mut buf = [0u8; $n];
+            self.copy_to_slice(&mut buf);
+            <$ty>::from_le_bytes(buf)
+        })*
+    };
+}
+
+/// Read access to a byte cursor (little-endian helpers only).
+///
+/// Like the real crate, the `get_*` methods panic when fewer than the
+/// required bytes remain; callers bound-check first.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    get_le! {
+        get_u16_le: u16 = 2, get_u32_le: u32 = 4, get_u64_le: u64 = 8,
+        get_i16_le: i16 = 2, get_i32_le: i32 = 4, get_i64_le: i64 = 8,
+        get_f32_le: f32 = 4, get_f64_le: f64 = 8,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "Buf::copy_to_slice out of bounds");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_primitives() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_f64_le(-1.5);
+        b.put_slice(b"xyz");
+        let frozen = b.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_f64_le(), -1.5);
+        assert_eq!(cur, b"xyz");
+    }
+
+    #[test]
+    fn bytes_clone_is_shallow() {
+        let b = Bytes::from(vec![1u8; 1024]);
+        let c = b.clone();
+        assert_eq!(&*b as *const [u8], &*c as *const [u8]);
+    }
+}

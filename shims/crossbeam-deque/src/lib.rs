@@ -1,0 +1,189 @@
+//! Minimal in-tree stand-in for `crossbeam-deque` (offline build — the
+//! real crate cannot be fetched without network access).
+//!
+//! Keeps the work-stealing *semantics* the `amt` runtime relies on —
+//! LIFO owner pops for cache locality, FIFO steals from the opposite
+//! end, batched injector drains — while using a mutex-protected
+//! `VecDeque` instead of the real crate's lock-free Chase-Lev deque.
+//! Contention on a handful of worker threads is negligible for the
+//! workloads in this repo; correctness is what matters here.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<VecDeque<T>>) -> MutexGuard<'_, VecDeque<T>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// Owner side of a per-worker deque. Push/pop at the back (LIFO);
+/// stealers take from the front.
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker {
+            queue: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        lock(&self.queue).pop_back()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// Thief side of a worker's deque; steals one task from the front.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Stealer<T> {
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            queue: self.queue.clone(),
+        }
+    }
+}
+
+/// Global FIFO injector for submissions from outside the worker pool.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        lock(&self.queue).len()
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Drain a batch (up to half the injector, capped) into `worker`'s
+    /// queue and return one task immediately, like the real crate.
+    pub fn steal_batch_and_pop(&self, worker: &Worker<T>) -> Steal<T> {
+        const MAX_BATCH: usize = 32;
+        let mut q = lock(&self.queue);
+        let first = match q.pop_front() {
+            Some(t) => t,
+            None => return Steal::Empty,
+        };
+        let extra = (q.len() / 2).min(MAX_BATCH);
+        if extra > 0 {
+            let mut w = lock(&worker.queue);
+            for _ in 0..extra {
+                match q.pop_front() {
+                    Some(t) => w.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_owner_fifo_thief() {
+        let w = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(3)); // owner: LIFO
+        assert_eq!(s.steal(), Steal::Success(1)); // thief: FIFO
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn injector_batches_into_worker() {
+        let inj = Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        let w = Worker::new_lifo();
+        assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+        // Half of the remaining 9 tasks moved into the worker's queue.
+        assert_eq!(w.len(), 4);
+        assert_eq!(inj.len(), 5);
+    }
+}

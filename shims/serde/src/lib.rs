@@ -1,0 +1,24 @@
+//! Minimal in-tree stand-in for the `serde` data model.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real serde cannot be fetched. This crate reimplements the subset
+//! of serde's (stable, documented) data model that the workspace's wire
+//! format and derived types exercise: the `Serialize`/`Deserialize`
+//! traits, the 29-method `Serializer`/`Deserializer` driver traits, the
+//! visitor machinery, and impls for the std types the repo serializes.
+//!
+//! Deliberately out of scope (the wire format rejects them anyway):
+//! `deserialize_any` self-description, 128-bit integers, and borrowed
+//! zero-copy deserialization beyond what `visit_borrowed_*` forwards.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in the same-named macro namespace, exactly like
+// `serde` with the `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

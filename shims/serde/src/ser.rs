@@ -1,0 +1,170 @@
+//! Serialization half of the data model: `Serialize`, `Serializer`, and
+//! the seven compound-serialization helper traits.
+
+use std::fmt::Display;
+
+/// Error type contract for serializers.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can drive a [`Serializer`].
+pub trait Serialize {
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer;
+}
+
+/// A data format that can receive any value in the data model.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+    type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_some<T>(self, value: &T) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+    fn serialize_unit_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+    ) -> Result<Self::Ok, Self::Error>;
+    fn serialize_newtype_struct<T>(
+        self,
+        name: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn serialize_newtype_variant<T>(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<Self::Ok, Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+    fn serialize_tuple_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+    fn serialize_tuple_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+    fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+    fn serialize_struct_variant(
+        self,
+        name: &'static str,
+        variant_index: u32,
+        variant: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStructVariant, Self::Error>;
+
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+pub trait SerializeSeq {
+    type Ok;
+    type Error: Error;
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeTuple {
+    type Ok;
+    type Error: Error;
+    fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeTupleStruct {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeTupleVariant {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeMap {
+    type Ok;
+    type Error: Error;
+    fn serialize_key<T>(&mut self, key: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn serialize_value<T>(&mut self, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeStruct {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+pub trait SerializeStructVariant {
+    type Ok;
+    type Error: Error;
+    fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+    where
+        T: Serialize + ?Sized;
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}

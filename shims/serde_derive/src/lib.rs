@@ -1,0 +1,337 @@
+//! Minimal in-tree stand-in for `serde_derive` — written against bare
+//! `proc_macro` because the offline build environment cannot fetch
+//! `syn`/`quote`.
+//!
+//! Scope: non-generic named structs, tuple structs, unit structs, and
+//! enums whose variants are unit, tuple, or struct-like. That is the
+//! entire shape vocabulary this workspace derives on. Generic types are
+//! rejected with a compile error rather than silently miscompiled.
+//!
+//! The trick that makes a syn-free derive practical: the generated code
+//! never needs to *name* field types. `Ok(Ghost { face, level, data })`
+//! pins each `next_element::<_>()` call's type through the constructor,
+//! so parsing can skip type tokens entirely and only collect field and
+//! variant names.
+
+use proc_macro::TokenStream;
+
+mod parse;
+
+use parse::{Fields, Input, Variant};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    let parsed = match parse::parse(input) {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let src = gen(&parsed);
+    src.parse().unwrap_or_else(|e| {
+        compile_error(&format!("serde_derive shim generated invalid code: {e}"))
+    })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        parse::Data::Struct(fields) => serialize_struct_body(name, fields),
+        parse::Data::Enum(variants) => serialize_enum_body(name, variants),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn serialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Fields::Tuple(1) => format!(
+            "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let mut __state = ::serde::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                s += &format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                );
+            }
+            s += "::serde::ser::SerializeTupleStruct::end(__state)";
+            s
+        }
+        Fields::Named(names) => {
+            let n = names.len();
+            let mut s = format!(
+                "let mut __state = ::serde::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {n})?;\n"
+            );
+            for f in names {
+                s += &format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                );
+            }
+            s += "::serde::ser::SerializeStruct::end(__state)";
+            s
+        }
+    }
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                 __serializer, \"{name}\", {idx}u32, \"{vname}\"),\n"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(\
+                 __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut body = format!(
+                    "let mut __state = ::serde::Serializer::serialize_tuple_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n"
+                );
+                for b in &binds {
+                    body += &format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                    );
+                }
+                body += "::serde::ser::SerializeTupleVariant::end(__state)";
+                format!("{name}::{vname}({}) => {{\n{body}\n}}\n", binds.join(", "))
+            }
+            Fields::Named(fields) => {
+                let n = fields.len();
+                let mut body = format!(
+                    "let mut __state = ::serde::Serializer::serialize_struct_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n"
+                );
+                for f in fields {
+                    body += &format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                    );
+                }
+                body += "::serde::ser::SerializeStructVariant::end(__state)";
+                format!(
+                    "{name}::{vname} {{ {} }} => {{\n{body}\n}}\n",
+                    fields.join(", ")
+                )
+            }
+        };
+        arms += &arm;
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// `let __f = next_element()? else missing-field error;` — the caller's
+/// constructor expression pins `__f`'s type by inference.
+fn seq_field(bind: &str, label: &str) -> String {
+    format!(
+        "let {bind} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+         ::core::option::Option::Some(__v) => __v,\n\
+         ::core::option::Option::None => return ::core::result::Result::Err(\
+         ::serde::de::Error::custom(\"missing field `{label}`\")),\n}};\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        parse::Data::Struct(fields) => deserialize_struct_body(name, fields),
+        parse::Data::Enum(variants) => deserialize_enum_body(name, variants),
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D)\n\
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// A visitor impl whose `visit_seq` reads `fields` elements and builds
+/// `ctor` (any constructor expression over the bound names).
+fn seq_visitor(value_ty: &str, binds_and_labels: &[(String, String)], ctor: &str) -> String {
+    let mut body = String::new();
+    for (bind, label) in binds_and_labels {
+        body += &seq_field(bind, label);
+    }
+    format!(
+        "struct __SeqVisitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __SeqVisitor {{\n\
+         type Value = {value_ty};\n\
+         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A)\n\
+         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+         {body}::core::result::Result::Ok({ctor})\n}}\n}}\n"
+    )
+}
+
+fn deserialize_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "struct __UnitVisitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __UnitVisitor {{\n\
+             type Value = {name};\n\
+             fn visit_unit<__E: ::serde::de::Error>(self)\n\
+             -> ::core::result::Result<Self::Value, __E> {{\n\
+             ::core::result::Result::Ok({name})\n}}\n}}\n\
+             ::serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __UnitVisitor)"
+        ),
+        Fields::Tuple(1) => format!(
+            "struct __NewtypeVisitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __NewtypeVisitor {{\n\
+             type Value = {name};\n\
+             fn visit_newtype_struct<__D2: ::serde::Deserializer<'de>>(self, __d: __D2)\n\
+             -> ::core::result::Result<Self::Value, __D2::Error> {{\n\
+             ::core::result::Result::Ok({name}(::serde::Deserialize::deserialize(__d)?))\n\
+             }}\n}}\n\
+             ::serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __NewtypeVisitor)"
+        ),
+        Fields::Tuple(n) => {
+            let binds: Vec<(String, String)> =
+                (0..*n).map(|i| (format!("__f{i}"), i.to_string())).collect();
+            let ctor = format!(
+                "{name}({})",
+                binds.iter().map(|(b, _)| b.as_str()).collect::<Vec<_>>().join(", ")
+            );
+            let visitor = seq_visitor(name, &binds, &ctor);
+            format!(
+                "{visitor}\
+                 ::serde::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {n}, __SeqVisitor)"
+            )
+        }
+        Fields::Named(names) => {
+            let binds: Vec<(String, String)> =
+                names.iter().map(|f| (format!("__f_{f}"), f.clone())).collect();
+            let ctor = format!(
+                "{name} {{ {} }}",
+                names
+                    .iter()
+                    .map(|f| format!("{f}: __f_{f}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let visitor = seq_visitor(name, &binds, &ctor);
+            let field_list = names
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{visitor}\
+                 ::serde::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", &[{field_list}], __SeqVisitor)"
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for (idx, v) in variants.iter().enumerate() {
+        let vname = &v.name;
+        let arm = match &v.fields {
+            Fields::Unit => format!(
+                "{idx}u32 => {{\n\
+                 ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                 ::core::result::Result::Ok({name}::{vname})\n}}\n"
+            ),
+            Fields::Tuple(1) => format!(
+                "{idx}u32 => ::core::result::Result::map(\
+                 ::serde::de::VariantAccess::newtype_variant(__variant), {name}::{vname}),\n"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<(String, String)> = (0..*n)
+                    .map(|i| (format!("__f{i}"), i.to_string()))
+                    .collect();
+                let ctor = format!(
+                    "{name}::{vname}({})",
+                    binds
+                        .iter()
+                        .map(|(b, _)| b.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let visitor = seq_visitor(name, &binds, &ctor);
+                format!(
+                    "{idx}u32 => {{\n{visitor}\
+                     ::serde::de::VariantAccess::tuple_variant(__variant, {n}, __SeqVisitor)\n}}\n"
+                )
+            }
+            Fields::Named(fields) => {
+                let binds: Vec<(String, String)> = fields
+                    .iter()
+                    .map(|f| (format!("__f_{f}"), f.clone()))
+                    .collect();
+                let ctor = format!(
+                    "{name}::{vname} {{ {} }}",
+                    fields
+                        .iter()
+                        .map(|f| format!("{f}: __f_{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let visitor = seq_visitor(name, &binds, &ctor);
+                let field_list = fields
+                    .iter()
+                    .map(|f| format!("\"{f}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{idx}u32 => {{\n{visitor}\
+                     ::serde::de::VariantAccess::struct_variant(\
+                     __variant, &[{field_list}], __SeqVisitor)\n}}\n"
+                )
+            }
+        };
+        arms += &arm;
+    }
+    let variant_list = variants
+        .iter()
+        .map(|v| format!("\"{}\"", v.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "struct __EnumVisitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __EnumVisitor {{\n\
+         type Value = {name};\n\
+         fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A)\n\
+         -> ::core::result::Result<Self::Value, __A::Error> {{\n\
+         let (__idx, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\n\
+         match __idx {{\n{arms}\
+         __n => ::core::result::Result::Err(::serde::de::Error::custom(\
+         ::std::format!(\"invalid variant index {{}} for enum {name}\", __n))),\n\
+         }}\n}}\n}}\n\
+         ::serde::Deserializer::deserialize_enum(\
+         __deserializer, \"{name}\", &[{variant_list}], __EnumVisitor)"
+    )
+}

@@ -1,0 +1,241 @@
+//! Hand-rolled parser over `proc_macro::TokenStream` for the shapes the
+//! derive supports. It collects only *names* — field names, variant
+//! names, tuple arities — and skips type tokens with an
+//! angle-bracket-depth-aware scan, since the generated code never needs
+//! to name a type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+pub struct Input {
+    pub name: String,
+    pub data: Data,
+}
+
+pub enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+pub enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+pub struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported; \
+             add a manual impl or drop the generics"
+        ));
+    }
+
+    let data = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            None | Some(TokenTree::Punct(_)) => Data::Struct(Fields::Unit),
+            other => return Err(format!("unexpected token after struct name: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("expected enum body, found {other:?}")),
+        }
+    };
+
+    Ok(Input { name, data })
+}
+
+/// Advance past `#[...]` attributes (incl. doc comments) and `pub` /
+/// `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.get(*i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    *i += 2;
+                }
+                other => return Err(format!("expected attribute body, found {other:?}")),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// `a: Vec<f64>, b: u32` → `["a", "b"]`. Type tokens are skipped up to
+/// the next comma at angle-bracket depth zero; `->` inside a type (fn
+/// pointers) is guarded so its `>` doesn't unbalance the depth count.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut i);
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Skip tokens until a comma at angle depth 0 (consuming the comma).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    let mut prev_char = ' ';
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                '<' => depth += 1,
+                // `->` return arrows don't close a generic bracket.
+                '>' if prev_char != '-' => depth -= 1,
+                _ => {}
+            }
+            prev_char = p.as_char();
+        } else {
+            prev_char = ' ';
+        }
+        *i += 1;
+    }
+}
+
+/// Count top-level comma-separated fields of a tuple struct/variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut depth: i32 = 0;
+    let mut prev_char = ' ';
+    let mut fields = 0;
+    let mut has_content = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if depth == 0 => {
+                    if has_content {
+                        fields += 1;
+                        has_content = false;
+                    }
+                    prev_char = ' ';
+                    continue;
+                }
+                '<' => depth += 1,
+                '>' if prev_char != '-' => depth -= 1,
+                _ => {}
+            }
+            prev_char = p.as_char();
+        } else {
+            prev_char = ' ';
+        }
+        has_content = true;
+    }
+    if has_content {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "serde_derive shim: explicit discriminant on variant `{name}` \
+                     is not supported"
+                ));
+            }
+            None => {}
+            other => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
+        }
+
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}

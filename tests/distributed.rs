@@ -1,7 +1,7 @@
 //! Distributed-stack integration: supervisor/delegate runs over the
 //! simulated parcelports, compared against the node-level driver.
 
-use octotiger_riscv_repro::distrib::{Cluster, ClusterConfig, LocalityHandle};
+use octotiger_riscv_repro::distrib::{Cluster, ClusterConfig, CoalesceConfig, LocalityHandle};
 use octotiger_riscv_repro::machine::NetBackend;
 use octotiger_riscv_repro::octotiger::dist_driver::{DistConfig, DistRun};
 use octotiger_riscv_repro::octotiger::{Driver, KernelType, OctoConfig};
@@ -21,6 +21,7 @@ fn distributed_and_node_level_drivers_agree_on_tree_shape() {
         nodes: 2,
         threads_per_node: 2,
         backend: NetBackend::Tcp,
+        coalesce: CoalesceConfig::default(),
         octo: octo_cfg(),
     });
     assert_eq!(node.tree().leaf_count(), dist.leaf_count);
@@ -34,6 +35,7 @@ fn wire_traffic_scales_with_steps() {
             nodes: 2,
             threads_per_node: 2,
             backend: NetBackend::Tcp,
+            coalesce: CoalesceConfig::default(),
             octo: OctoConfig {
                 stop_step: steps,
                 ..octo_cfg()
@@ -64,6 +66,7 @@ fn actions_compose_into_a_tree_traversal() {
         localities: 2,
         threads_per_locality: 2,
         backend: NetBackend::Tcp,
+        coalesce: CoalesceConfig::default(),
     });
     cluster.register_action(
         "subtree_sum",
@@ -73,7 +76,13 @@ fn actions_compose_into_a_tree_traversal() {
                 .expect("component lives here");
             let futures: Vec<amt::Future<u64>> = children
                 .iter()
-                .map(|&c| ctx.invoke(c, "subtree_sum", &Vec::<octotiger_riscv_repro::distrib::Gid>::new()))
+                .map(|&c| {
+                    ctx.invoke(
+                        c,
+                        "subtree_sum",
+                        &Vec::<octotiger_riscv_repro::distrib::Gid>::new(),
+                    )
+                })
                 .collect();
             own + amt::when_all(futures).get().into_iter().sum::<u64>()
         },
@@ -103,12 +112,14 @@ fn mpi_and_tcp_runs_produce_identical_physics() {
         nodes: 2,
         threads_per_node: 2,
         backend: NetBackend::Tcp,
+        coalesce: CoalesceConfig::default(),
         octo: octo_cfg(),
     });
     let mpi = DistRun::execute(DistConfig {
         nodes: 2,
         threads_per_node: 2,
         backend: NetBackend::Mpi,
+        coalesce: CoalesceConfig::default(),
         octo: octo_cfg(),
     });
     assert_eq!(tcp.cells_processed, mpi.cells_processed);
@@ -122,6 +133,7 @@ fn single_node_distributed_run_matches_cell_throughput_shape() {
         nodes: 1,
         threads_per_node: 2,
         backend: NetBackend::Tcp,
+        coalesce: CoalesceConfig::default(),
         octo: octo_cfg(),
     });
     assert_eq!(m.net.messages, 0);

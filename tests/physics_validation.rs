@@ -98,11 +98,7 @@ fn star_remains_centrally_concentrated() {
         }
     }
     let r = (best.1[0].powi(2) + best.1[1].powi(2) + best.1[2].powi(2)).sqrt();
-    assert!(
-        r < 0.3,
-        "density max wandered to r = {r} (ρ = {})",
-        best.0
-    );
+    assert!(r < 0.3, "density max wandered to r = {r} (ρ = {})", best.0);
     assert!(best.0 > 0.3, "central density collapsed: {}", best.0);
 }
 

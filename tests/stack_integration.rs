@@ -58,11 +58,9 @@ fn futures_chain_across_subsystems() {
     let projected = rt
         .spawn(move || {
             let space = kokkos_lite::HpxSpace::new(h2);
-            kokkos_lite::parallel_reduce_sum(
-                &space,
-                kokkos_lite::RangePolicy::new(1, 1001),
-                |i| 1.0 / i as f64,
-            )
+            kokkos_lite::parallel_reduce_sum(&space, kokkos_lite::RangePolicy::new(1, 1001), |i| {
+                1.0 / i as f64
+            })
         })
         .then(|harmonic| {
             // Charge the result's cost on the U74.
@@ -110,9 +108,13 @@ fn runtime_stats_feed_cost_model() {
     let total: u64 = amt::when_all(futures).get().into_iter().sum();
     assert_eq!(total, 255 * 256 / 2);
     let stats = rt.stats();
-    let rv = CostModel::new(CpuArch::RiscvU74)
-        .event_seconds(octotiger_riscv_repro::machine::RuntimeEvent::TaskSpawn, stats.tasks_spawned);
-    let amd = CostModel::new(CpuArch::Epyc7543)
-        .event_seconds(octotiger_riscv_repro::machine::RuntimeEvent::TaskSpawn, stats.tasks_spawned);
+    let rv = CostModel::new(CpuArch::RiscvU74).event_seconds(
+        octotiger_riscv_repro::machine::RuntimeEvent::TaskSpawn,
+        stats.tasks_spawned,
+    );
+    let amd = CostModel::new(CpuArch::Epyc7543).event_seconds(
+        octotiger_riscv_repro::machine::RuntimeEvent::TaskSpawn,
+        stats.tasks_spawned,
+    );
     assert!(rv > amd, "task overhead must cost more on the U74");
 }
