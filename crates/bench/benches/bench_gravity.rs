@@ -1,0 +1,184 @@
+//! Gravity SIMD/caching baseline bench — the BENCH_gravity.json datapoint.
+//!
+//! Times the SoA fast-multipole kernels (`accel_for_leaf_with`) at every
+//! supported SIMD width against the scalar reference path, and a short
+//! driver run with the interaction-list cache on vs off. Results go to
+//! stdout (criterion-style lines) and, on a full run, to
+//! `BENCH_gravity.json` at the repo root so successive PRs accumulate a
+//! baseline series.
+//!
+//! `BENCH_SMOKE=1` runs one short iteration for CI (no timing assertions,
+//! no JSON write — smoke numbers must not clobber the committed baseline).
+
+use std::time::Instant;
+
+use octotiger::gravity::{self, GravityKernels, GravityWorkspace, InteractionCache, LeafScratch};
+use octotiger::kernel_backend::{Dispatch, KernelType, SimdPolicy};
+use octotiger::{Driver, OctoConfig};
+
+struct KernelPoint {
+    label: String,
+    ns_per_sweep: f64,
+}
+
+struct DriverPoint {
+    cache: bool,
+    seconds: f64,
+    hits: u64,
+    misses: u64,
+    mac_evals: u64,
+}
+
+fn bench_config(level: u32, steps: u32, cache: bool) -> OctoConfig {
+    OctoConfig {
+        max_level: level,
+        stop_step: steps,
+        threads: 2,
+        use_interaction_cache: cache,
+        ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
+    }
+}
+
+/// Mean wall time of `iters` full-tree FMM sweeps under `policy`.
+fn time_kernel_sweep(driver: &Driver, policy: SimdPolicy, iters: u32) -> KernelPoint {
+    let tree = driver.tree();
+    let blocks: Vec<gravity::BlockSoA> = tree
+        .leaf_ids()
+        .iter()
+        .map(|&l| gravity::compute_blocks(tree.subgrid(l)))
+        .collect();
+    let mut ws = GravityWorkspace::new();
+    ws.upward_pass(tree, &blocks);
+    let mut cache = InteractionCache::new();
+    cache.ensure(tree, &ws.moments, driver.config().theta);
+    let lists = cache.lists();
+    // Legacy dispatch = inline serial execution: the measurement isolates
+    // the kernels from task-scheduling noise.
+    let d = Dispatch::Legacy;
+    let kernels = GravityKernels {
+        multipole: &d,
+        monopole: &d,
+        simd: policy,
+    };
+    let mut scratch = LeafScratch::new();
+    let sweep = |scratch: &mut LeafScratch| {
+        for &leaf in tree.leaf_ids() {
+            let (far, near) = &lists[ws.leaf_pos[leaf]];
+            std::hint::black_box(gravity::accel_for_leaf_with(
+                tree,
+                &ws.moments,
+                &blocks,
+                &ws.leaf_pos,
+                leaf,
+                far,
+                near,
+                &kernels,
+                scratch,
+            ));
+        }
+    };
+    sweep(&mut scratch); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        sweep(&mut scratch);
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    KernelPoint {
+        label: policy.label(),
+        ns_per_sweep: ns,
+    }
+}
+
+/// One short driver run; reports wall time and cache counters.
+fn time_driver(level: u32, steps: u32, cache: bool) -> DriverPoint {
+    let mut driver = Driver::new(bench_config(level, steps, cache));
+    let m = driver.run(2);
+    DriverPoint {
+        cache,
+        seconds: m.elapsed_seconds,
+        hits: m.cache.hits,
+        misses: m.cache.misses,
+        mac_evals: m.work.mac_evals,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (level, iters, steps) = if smoke { (1, 1, 1) } else { (2, 12, 4) };
+
+    let driver = Driver::new(bench_config(level, steps, true));
+    let policies = [
+        SimdPolicy::Scalar,
+        SimdPolicy::Width(1),
+        SimdPolicy::Width(2),
+        SimdPolicy::Width(4),
+        SimdPolicy::Width(8),
+    ];
+    let mut kernel_points = Vec::new();
+    for policy in policies {
+        let p = time_kernel_sweep(&driver, policy, iters);
+        println!(
+            "gravity-simd/fmm_sweep/{}: mean {:.2} µs",
+            p.label,
+            p.ns_per_sweep / 1e3
+        );
+        kernel_points.push(p);
+    }
+    let scalar_ns = kernel_points[0].ns_per_sweep;
+    for p in &kernel_points[1..] {
+        println!(
+            "gravity-simd/speedup/{}: {:.2}x vs scalar",
+            p.label,
+            scalar_ns / p.ns_per_sweep
+        );
+    }
+
+    let driver_points = [
+        time_driver(level, steps, true),
+        time_driver(level, steps, false),
+    ];
+    for p in &driver_points {
+        println!(
+            "gravity-cache/steps(cache={}): {:.2} ms, hits {} misses {} mac_evals {}",
+            p.cache,
+            p.seconds * 1e3,
+            p.hits,
+            p.misses,
+            p.mac_evals
+        );
+    }
+
+    if smoke {
+        println!("BENCH_SMOKE=1: skipping BENCH_gravity.json write");
+        return;
+    }
+
+    let kernel_json: Vec<String> = kernel_points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"policy\": \"{}\", \"ns_per_sweep\": {:.0}, \"speedup_vs_scalar\": {:.3}}}",
+                p.label,
+                p.ns_per_sweep,
+                scalar_ns / p.ns_per_sweep
+            )
+        })
+        .collect();
+    let driver_json: Vec<String> = driver_points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"interaction_cache\": {}, \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}, \"mac_evals\": {}}}",
+                p.cache, p.seconds, p.hits, p.misses, p.mac_evals
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"gravity\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"sweep_iters\": {iters},\n  \"kernel_sweeps\": [\n{}\n  ],\n  \"driver_runs\": [\n{}\n  ]\n}}\n",
+        kernel_json.join(",\n"),
+        driver_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gravity.json");
+    std::fs::write(path, json).expect("write BENCH_gravity.json");
+    println!("wrote {path}");
+}

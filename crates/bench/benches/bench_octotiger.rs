@@ -42,7 +42,7 @@ fn hydro_kernels(c: &mut Criterion) {
 fn gravity_kernels(c: &mut Criterion) {
     let driver = tiny_driver(KernelType::KokkosSerial);
     let tree = driver.tree();
-    let blocks: Vec<gravity::Blocks> = tree
+    let blocks: Vec<gravity::BlockSoA> = tree
         .leaf_ids()
         .iter()
         .map(|&l| gravity::compute_blocks(tree.subgrid(l)))
@@ -76,7 +76,7 @@ fn gravity_kernels(c: &mut Criterion) {
 fn ablation_theta(c: &mut Criterion) {
     let driver = tiny_driver(KernelType::KokkosSerial);
     let tree = driver.tree();
-    let blocks: Vec<gravity::Blocks> = tree
+    let blocks: Vec<gravity::BlockSoA> = tree
         .leaf_ids()
         .iter()
         .map(|&l| gravity::compute_blocks(tree.subgrid(l)))

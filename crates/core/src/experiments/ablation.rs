@@ -26,7 +26,7 @@ fn ablation_driver(quick: bool) -> Driver {
 pub fn run_ablation_theta(quick: bool) -> Exhibit {
     let driver = ablation_driver(quick);
     let tree = driver.tree();
-    let blocks: Vec<gravity::Blocks> = tree
+    let blocks: Vec<gravity::BlockSoA> = tree
         .leaf_ids()
         .iter()
         .map(|&l| gravity::compute_blocks(tree.subgrid(l)))

@@ -31,6 +31,7 @@ fn profile_from(metrics: &DistMetrics) -> DistProfile {
     per_work.near_interactions /= u64::from(nodes);
     per_work.ghost_samples /= u64::from(nodes);
     per_work.ghost_slab_bytes /= u64::from(nodes);
+    per_work.mac_evals /= u64::from(nodes);
     DistProfile {
         per_node: OctoProfile {
             work: per_work,

@@ -213,6 +213,7 @@ mod tests {
                 near_interactions: 250_000_000,
                 ghost_samples: 12_000_000,
                 ghost_slab_bytes: 18_000_000,
+                mac_evals: 500_000,
             },
             cells_processed: 3_031_040,
             steps: 5,

@@ -42,6 +42,40 @@ impl<const W: usize> Simd<W> {
         Simd(out)
     }
 
+    /// Masked tail load: lanes past `slice.len()` are filled with `fill`
+    /// instead of faulting — the predicated load SVE/AVX-512 kernels use for
+    /// loop remainders. `fill` is chosen by the kernel so that padded lanes
+    /// contribute exactly zero (e.g. mass 0, or a far-away sentinel
+    /// position that keeps `1/r` finite).
+    #[inline]
+    pub fn from_slice_padded(slice: &[f64], offset: usize, fill: f64) -> Self {
+        let mut out = [fill; W];
+        let start = offset.min(slice.len());
+        let avail = (slice.len() - start).min(W);
+        out[..avail].copy_from_slice(&slice[start..start + avail]);
+        Simd(out)
+    }
+
+    /// Gather `W` lanes from arbitrary indices (Kokkos SIMD `gather_from`);
+    /// the SoA kernels use it to pull block values in leaf-list order.
+    #[inline]
+    pub fn gather(slice: &[f64], indices: &[usize; W]) -> Self {
+        let mut out = [0.0; W];
+        for (o, &i) in out.iter_mut().zip(indices.iter()) {
+            *o = slice[i];
+        }
+        Simd(out)
+    }
+
+    /// Scatter lanes to arbitrary indices (last write wins on duplicates,
+    /// like Kokkos SIMD `scatter_to`).
+    #[inline]
+    pub fn scatter(self, slice: &mut [f64], indices: &[usize; W]) {
+        for (v, &i) in self.0.iter().zip(indices.iter()) {
+            slice[i] = *v;
+        }
+    }
+
     /// Store lanes to `slice[offset..]`.
     #[inline]
     pub fn write_to(self, slice: &mut [f64], offset: usize) {
@@ -60,12 +94,23 @@ impl<const W: usize> Simd<W> {
         self.0[i]
     }
 
-    /// Fused multiply-add: `self * b + c` per lane.
+    /// Multiply-add: `self * b + c` per lane. Fused (single-rounding) only
+    /// when the target actually has FMA hardware — on targets without it,
+    /// `f64::mul_add` lowers to a libm call that is an order of magnitude
+    /// slower than mul+add, which would make every "vectorized" kernel
+    /// lose to its scalar reference.
     #[inline]
     pub fn mul_add(self, b: Self, c: Self) -> Self {
         let mut out = self.0;
         for (o, (b, c)) in out.iter_mut().zip(b.0.iter().zip(c.0.iter())) {
-            *o = o.mul_add(*b, *c);
+            #[cfg(target_feature = "fma")]
+            {
+                *o = o.mul_add(*b, *c);
+            }
+            #[cfg(not(target_feature = "fma"))]
+            {
+                *o = *o * *b + *c;
+            }
         }
         Simd(out)
     }
@@ -98,6 +143,19 @@ impl<const W: usize> Simd<W> {
         let mut out = self.0;
         for o in out.iter_mut() {
             *o = o.sqrt();
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise reciprocal square root, composed from `sqrt` + divide —
+    /// none of the paper's CPUs expose a full-precision `rsqrt` instruction
+    /// for f64, so this is exactly what the SVE/AVX kernels compile to
+    /// (the gravity kernels' `1/r` building block).
+    #[inline]
+    pub fn recip_sqrt(self) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = 1.0 / o.sqrt();
         }
         Simd(out)
     }
@@ -217,5 +275,37 @@ mod tests {
     fn simd_sum_empty_and_tail_only() {
         assert_eq!(simd_sum::<4>(&[]), 0.0);
         assert_eq!(simd_sum::<4>(&[1.5, 2.5]), 4.0);
+    }
+
+    #[test]
+    fn recip_sqrt_composed_from_sqrt_and_div() {
+        let a = Simd::<4>([4.0, 9.0, 16.0, 0.25]).recip_sqrt();
+        for (got, want) in a.0.iter().zip([0.5f64, 1.0 / 3.0, 0.25, 2.0]) {
+            assert_eq!(got.to_bits(), want.to_bits(), "exactly 1/sqrt per lane");
+        }
+        // Degenerate pack behaves like the scalar expression.
+        assert_eq!(Simd::<1>([2.0]).recip_sqrt().0[0], 1.0 / 2.0f64.sqrt());
+    }
+
+    #[test]
+    fn padded_load_fills_missing_lanes() {
+        let src = [1.0, 2.0, 3.0];
+        // Full pack available: identical to from_slice.
+        assert_eq!(Simd::<2>::from_slice_padded(&src, 1, 9.0).0, [2.0, 3.0]);
+        // One lane short: tail filled.
+        assert_eq!(Simd::<2>::from_slice_padded(&src, 2, 9.0).0, [3.0, 9.0]);
+        // Offset at / past the end: all lanes filled.
+        assert_eq!(Simd::<4>::from_slice_padded(&src, 3, -1.0).0, [-1.0; 4]);
+        assert_eq!(Simd::<4>::from_slice_padded(&src, 64, 0.5).0, [0.5; 4]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let src = [10.0, 11.0, 12.0, 13.0, 14.0];
+        let g = Simd::<3>::gather(&src, &[4, 0, 2]);
+        assert_eq!(g.0, [14.0, 10.0, 12.0]);
+        let mut dst = [0.0; 5];
+        g.scatter(&mut dst, &[1, 3, 0]);
+        assert_eq!(dst, [12.0, 14.0, 0.0, 10.0, 0.0]);
     }
 }

@@ -379,6 +379,22 @@ impl CountedF64 {
         FlopCounter::record(FlopKind::Sqrt);
         CountedF64(self.0.sqrt())
     }
+    /// Counted fused multiply-add `self*b + c`. Counted as one multiply plus
+    /// one add: that is how `perf fp_arith` charges an FMA, and how the
+    /// vectorized gravity kernels must be charged so a `mul_add`-heavy SIMD
+    /// body and its scalar reference cost the same projected flops.
+    pub fn mul_add(self, b: Self, c: Self) -> Self {
+        FlopCounter::record(FlopKind::Mul);
+        FlopCounter::record(FlopKind::Add);
+        CountedF64(self.0.mul_add(b.0, c.0))
+    }
+    /// Counted reciprocal square root composed from sqrt + divide —
+    /// mirrors `kokkos_lite::Simd::recip_sqrt` lane-for-lane.
+    pub fn recip_sqrt(self) -> Self {
+        FlopCounter::record(FlopKind::Sqrt);
+        FlopCounter::record(FlopKind::Div);
+        CountedF64(1.0 / self.0.sqrt())
+    }
     /// Counted absolute value.
     pub fn abs(self) -> Self {
         FlopCounter::record(FlopKind::Cmp);

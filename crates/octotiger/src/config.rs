@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use rv_machine::NetBackend;
 
-use crate::kernel_backend::KernelType;
+use crate::kernel_backend::{KernelType, SimdPolicy};
 
 /// Full configuration of a rotating-star run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -40,6 +40,16 @@ pub struct OctoConfig {
     /// Density threshold (relative to the star's central density) above
     /// which a region is refined.
     pub refine_density_frac: f64,
+    /// SIMD width of the gravity kernels' inner source loops
+    /// (`--simd_kernel_width`): 0 = the scalar reference path, otherwise
+    /// one of 1/2/4/8 (a pack width; 1 is the RISC-V degenerate pack).
+    /// Stored as the raw width so the config stays a flat serializable
+    /// struct; convert with [`SimdPolicy::from_width`].
+    pub simd_width: usize,
+    /// Reuse the per-leaf interaction lists across solves until the octree
+    /// topology changes (`--interaction_list_cache`). Off = the cache-off
+    /// ablation: rebuild the dual traversal every step, as the seed did.
+    pub use_interaction_cache: bool,
 }
 
 impl Default for OctoConfig {
@@ -57,6 +67,8 @@ impl Default for OctoConfig {
             parcelport: NetBackend::Tcp,
             cfl: 0.4,
             refine_density_frac: 1.0e-4,
+            simd_width: 4,
+            use_interaction_cache: true,
         }
     }
 }
@@ -104,6 +116,28 @@ impl OctoConfig {
                 "hydro_host_kernel_type" => cfg.hydro_kernel = KernelType::parse(value)?,
                 "multipole_host_kernel_type" => cfg.multipole_kernel = KernelType::parse(value)?,
                 "monopole_host_kernel_type" => cfg.monopole_kernel = KernelType::parse(value)?,
+                "simd_kernel_width" => {
+                    cfg.simd_width = match value {
+                        "scalar" => 0,
+                        _ => parse(key, value).map_err(|_| {
+                            format!(
+                                "invalid value {value:?} for --simd_kernel_width \
+                                 (scalar/0 or a pack width 1/2/4/8)"
+                            )
+                        })?,
+                    }
+                }
+                "interaction_list_cache" => {
+                    cfg.use_interaction_cache = match value {
+                        "on" | "1" | "true" => true,
+                        "off" | "0" | "false" => false,
+                        other => {
+                            return Err(format!(
+                                "invalid value {other:?} for --interaction_list_cache (on/off)"
+                            ))
+                        }
+                    }
+                }
                 _ => {}
             }
         }
@@ -128,7 +162,13 @@ impl OctoConfig {
                 self.max_level
             ));
         }
+        SimdPolicy::from_width(self.simd_width)?;
         Ok(())
+    }
+
+    /// SIMD policy of the gravity kernels ([`OctoConfig::simd_width`]).
+    pub fn simd_policy(&self) -> SimdPolicy {
+        SimdPolicy::from_width(self.simd_width).expect("validated width")
     }
 }
 
@@ -191,6 +231,33 @@ mod tests {
         assert!(OctoConfig::from_args(["--hpx:threads=0"]).is_err());
         assert!(OctoConfig::from_args(["--hydro_host_kernel_type=CUDA"]).is_err());
         assert!(OctoConfig::from_args(["--hpx:parcelport=infiniband"]).is_err());
+        assert!(OctoConfig::from_args(["--simd_kernel_width=3"]).is_err());
+        assert!(OctoConfig::from_args(["--interaction_list_cache=maybe"]).is_err());
+    }
+
+    #[test]
+    fn parses_simd_and_cache_flags() {
+        let c = OctoConfig::from_args(["--simd_kernel_width=8", "--interaction_list_cache=off"])
+            .unwrap();
+        assert_eq!(c.simd_width, 8);
+        assert_eq!(c.simd_policy(), SimdPolicy::Width(8));
+        assert!(!c.use_interaction_cache);
+        let d = OctoConfig::default();
+        assert_eq!(d.simd_width, 4, "SIMD is the default backend");
+        assert!(d.use_interaction_cache);
+        assert_eq!(
+            OctoConfig::from_args(["--simd_kernel_width=0"])
+                .unwrap()
+                .simd_policy(),
+            SimdPolicy::Scalar
+        );
+        assert_eq!(
+            OctoConfig::from_args(["--simd_kernel_width=scalar"])
+                .unwrap()
+                .simd_policy(),
+            SimdPolicy::Scalar,
+            "'scalar' is an alias for width 0"
+        );
     }
 
     #[test]

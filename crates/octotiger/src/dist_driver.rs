@@ -27,7 +27,9 @@ use rv_machine::NetBackend;
 
 use crate::config::OctoConfig;
 use crate::driver::WorkEstimate;
-use crate::gravity::{self, Blocks, BLOCKS};
+use crate::gravity::{
+    self, BlockSoA, GravityKernels, GravityWorkspace, InteractionCache, ScratchPool, BLOCKS,
+};
 use crate::hydro;
 use crate::kernel_backend::Dispatch;
 use crate::octree::{NodeId, Octree};
@@ -119,34 +121,44 @@ struct Domain {
     halo_snapshot: Vec<(u64, Vec<f64>)>,
     /// Own leaves' blocks (leaf position → wire blocks), staged for pull.
     blocks_snapshot: Vec<(u64, BlocksWire)>,
+    /// Recycled gravity solve state (moments table, traversal order).
+    gravity_ws: GravityWorkspace,
+    /// Cross-step interaction-list cache keyed on tree topology.
+    interaction_cache: InteractionCache,
+    /// Per-worker gravity scratch buffers.
+    scratch: ScratchPool,
     /// Work counters.
     work: WorkEstimate,
 }
 
-/// Serializable form of [`Blocks`].
+/// Serializable form of [`BlockSoA`] — the SoA lanes go on the wire as four
+/// flat streams, same layout the SIMD kernels consume.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BlocksWire {
     mass: Vec<f64>,
-    com: Vec<[f64; 3]>,
+    x: Vec<f64>,
+    y: Vec<f64>,
+    z: Vec<f64>,
 }
 
-impl From<&Blocks> for BlocksWire {
-    fn from(b: &Blocks) -> Self {
+impl From<&BlockSoA> for BlocksWire {
+    fn from(b: &BlockSoA) -> Self {
         BlocksWire {
             mass: b.mass.to_vec(),
-            com: b.com.to_vec(),
+            x: b.x.to_vec(),
+            y: b.y.to_vec(),
+            z: b.z.to_vec(),
         }
     }
 }
 
-impl From<&BlocksWire> for Blocks {
+impl From<&BlocksWire> for BlockSoA {
     fn from(w: &BlocksWire) -> Self {
-        let mut b = Blocks {
-            mass: [0.0; BLOCKS],
-            com: [[0.0; 3]; BLOCKS],
-        };
+        let mut b = BlockSoA::zero();
         b.mass.copy_from_slice(&w.mass);
-        b.com.copy_from_slice(&w.com);
+        b.x.copy_from_slice(&w.x);
+        b.y.copy_from_slice(&w.y);
+        b.z.copy_from_slice(&w.z);
         b
     }
 }
@@ -160,6 +172,7 @@ struct StepReport {
     hydro_flops: u64,
     gravity_flops: u64,
     bytes: u64,
+    mac_evals: u64,
 }
 
 fn build_domain(cfg: OctoConfig, node: u32, nodes: u32) -> Domain {
@@ -224,6 +237,9 @@ fn build_domain(cfg: OctoConfig, node: u32, nodes: u32) -> Domain {
         halo_out,
         halo_snapshot: Vec::new(),
         blocks_snapshot: Vec::new(),
+        gravity_ws: GravityWorkspace::new(),
+        interaction_cache: InteractionCache::new(),
+        scratch: ScratchPool::new(),
         work: WorkEstimate::default(),
     }
 }
@@ -405,28 +421,27 @@ fn solve_step_locked(
 ) -> StepReport {
     let n = d.tree.leaf_count();
     // Assemble the global block table: own + peer.
-    let mut all_blocks: Vec<Option<Blocks>> = (0..n).map(|_| None).collect();
+    let mut all_blocks: Vec<Option<BlockSoA>> = (0..n).map(|_| None).collect();
     for (pos, w) in &d.blocks_snapshot {
-        all_blocks[*pos as usize] = Some(Blocks::from(w));
+        all_blocks[*pos as usize] = Some(BlockSoA::from(w));
     }
     for (pos, w) in peer_blocks {
-        all_blocks[*pos as usize] = Some(Blocks::from(w));
+        all_blocks[*pos as usize] = Some(BlockSoA::from(w));
     }
-    let blocks: Vec<Blocks> = all_blocks
+    let blocks: Vec<BlockSoA> = all_blocks
         .into_iter()
-        .map(|b| {
-            b.unwrap_or(Blocks {
-                mass: [0.0; BLOCKS],
-                com: [[0.0; 3]; BLOCKS],
-            })
-        })
+        .map(|b| b.unwrap_or_else(BlockSoA::zero))
         .collect();
-    let moments = gravity::upward_pass(&d.tree, &blocks);
-    let leaf_pos = gravity::leaf_positions(&d.tree);
+    d.gravity_ws.upward_pass(&d.tree, &blocks);
+    if !d.cfg.use_interaction_cache {
+        d.interaction_cache.invalidate();
+    }
+    let rebuilt = d
+        .interaction_cache
+        .ensure(&d.tree, &d.gravity_ws.moments, d.cfg.theta);
     let multipole = Dispatch::new(d.cfg.multipole_kernel, handle, 4);
     let monopole = Dispatch::new(d.cfg.monopole_kernel, handle, 4);
     let hydro_d = Dispatch::new(d.cfg.hydro_kernel, handle, 4);
-    let theta = d.cfg.theta;
     let targets = owned_leaves(d);
 
     // Parallel kernels over owned leaves.
@@ -434,18 +449,33 @@ fn solve_step_locked(
     {
         let tree = &d.tree;
         let blocks = &blocks;
-        let moments = &moments;
-        let leaf_pos = &leaf_pos;
-        let multipole = &multipole;
-        let monopole = &monopole;
+        let ws = &d.gravity_ws;
+        let lists = d.interaction_cache.lists();
+        let scratch_pool = &d.scratch;
+        let kernels = GravityKernels {
+            multipole: &multipole,
+            monopole: &monopole,
+            simd: d.cfg.simd_policy(),
+        };
+        let kernels = &kernels;
         let hydro_d = &hydro_d;
         scope(handle, |sc| {
             for (slot, &(_, leaf)) in results.iter_mut().zip(&targets) {
                 sc.spawn(move || {
-                    let (far, near) = gravity::interaction_lists(tree, moments, leaf, theta);
-                    let acc = gravity::accel_for_leaf(
-                        tree, moments, blocks, leaf_pos, leaf, theta, multipole, monopole,
+                    let (far, near) = &lists[ws.leaf_pos[leaf]];
+                    let mut scratch = scratch_pool.take();
+                    let acc = gravity::accel_for_leaf_with(
+                        tree,
+                        &ws.moments,
+                        blocks,
+                        &ws.leaf_pos,
+                        leaf,
+                        far,
+                        near,
+                        kernels,
+                        &mut scratch,
                     );
+                    scratch_pool.put(scratch);
                     let state = hydro::step_interior(tree.subgrid(leaf), dt, hydro_d);
                     *slot = Some(LeafOut {
                         leaf,
@@ -460,33 +490,42 @@ fn solve_step_locked(
     }
 
     // Apply.
+    let lanes = d.cfg.simd_policy().lanes() as u64;
     let mut far_total = 0;
     let mut near_total = 0;
+    let mut far_padded = 0;
     for out in results.into_iter().map(|r| r.expect("scope done")) {
         let grid = d.tree.subgrid_mut(out.leaf);
         hydro::apply_interior(grid, &out.state);
         hydro::apply_gravity_source(grid, &out.acc, dt);
         far_total += out.far;
         near_total += out.near;
+        far_padded += rv_machine::simd_padded_interactions(out.far, lanes);
     }
 
     let owned_cells = targets.len() as u64 * crate::subgrid::CELLS as u64;
-    let far_inter = far_total * BLOCKS as u64;
+    let far_inter = far_padded * BLOCKS as u64;
     let near_inter = near_total * (BLOCKS * BLOCKS) as u64;
+    // MAC evaluations are only executed on a cache miss (proxied by the
+    // list sizes, as in the node-level driver).
+    let mac_evals = if rebuilt { far_total + near_total } else { 0 };
     let report = StepReport {
         owned_cells,
         far_interactions: far_inter,
         near_interactions: near_inter,
         hydro_flops: owned_cells * hydro::HYDRO_FLOPS_PER_CELL,
         gravity_flops: far_inter * gravity::MULTIPOLE_FLOPS_PER_INTERACTION
-            + near_inter * gravity::MONOPOLE_FLOPS_PER_INTERACTION,
+            + near_inter * gravity::MONOPOLE_FLOPS_PER_INTERACTION
+            + mac_evals * gravity::MAC_FLOPS_PER_EVAL,
         bytes: owned_cells * hydro::HYDRO_BYTES_PER_CELL,
+        mac_evals,
     };
     d.work.hydro_flops += report.hydro_flops;
     d.work.gravity_flops += report.gravity_flops;
     d.work.bytes += report.bytes;
     d.work.far_interactions += report.far_interactions;
     d.work.near_interactions += report.near_interactions;
+    d.work.mac_evals += report.mac_evals;
     report
 }
 
@@ -586,6 +625,7 @@ impl DistRun {
             work.near_interactions += w.near_interactions;
             work.ghost_samples += w.ghost_samples;
             work.ghost_slab_bytes += w.ghost_slab_bytes;
+            work.mac_evals += w.mac_evals;
         }
 
         let cells_processed = cell_count as u64 * u64::from(steps);

@@ -16,7 +16,9 @@ use amt::par::scope;
 use amt::{Handle, Runtime};
 
 use crate::config::OctoConfig;
-use crate::gravity::{self, Blocks, Moments};
+use crate::gravity::{
+    self, BlockSoA, CacheStats, GravityKernels, GravityWorkspace, InteractionCache, ScratchPool,
+};
 use crate::hydro;
 use crate::kernel_backend::Dispatch;
 use crate::octree::{NodeId, Octree};
@@ -45,6 +47,11 @@ pub struct WorkEstimate {
     pub ghost_samples: u64,
     /// Bytes moved by fast same-level ghost slab copies.
     pub ghost_slab_bytes: u64,
+    /// Multipole-acceptance (MAC) evaluations executed by the dual
+    /// traversal. Charged only on interaction-cache *misses*: cached solves
+    /// skip the traversal, and the projection must not bill flops that
+    /// never ran.
+    pub mac_evals: u64,
 }
 
 impl WorkEstimate {
@@ -73,6 +80,8 @@ pub struct RunMetrics {
     pub runtime_stats: amt::RuntimeStats,
     /// Work counters for the machine projection.
     pub work: WorkEstimate,
+    /// Interaction-list cache hit/miss counters over the run.
+    pub cache: CacheStats,
     /// Final simulation time.
     pub sim_time: f64,
 }
@@ -85,6 +94,12 @@ pub struct Driver {
     work: WorkEstimate,
     /// cppuddle-style scratch-buffer pool for the hydro kernels.
     pool: std::sync::Arc<RecyclePool<[f64; NF]>>,
+    /// Recycled gravity solve state (moments table, traversal order).
+    gravity_ws: GravityWorkspace,
+    /// Cross-step interaction-list cache keyed on tree topology.
+    interaction_cache: InteractionCache,
+    /// Per-worker gravity scratch buffers (far table + block accumulators).
+    scratch: ScratchPool,
 }
 
 /// Map every leaf through `f` in parallel (one task per leaf — the paper's
@@ -126,6 +141,9 @@ impl Driver {
             sim_time: 0.0,
             work: WorkEstimate::default(),
             pool: std::sync::Arc::new(RecyclePool::new()),
+            gravity_ws: GravityWorkspace::new(),
+            interaction_cache: InteractionCache::new(),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -175,27 +193,50 @@ impl Driver {
         let max_rate = speeds.iter().copied().fold(1e-30_f64, f64::max);
         let dt = self.config.cfl / max_rate;
 
-        // 3. Gravity: P2M (parallel) → M2M (serial) → FMM kernels (parallel).
-        let blocks: Vec<Blocks> = {
+        // 3. Gravity: P2M (parallel) → M2M (serial, recycled workspace) →
+        //    interaction lists (cached across steps) → FMM kernels
+        //    (parallel, pooled scratch).
+        let blocks: Vec<BlockSoA> = {
             let tree = &self.tree;
             par_map_leaves(&handle, tree, |leaf| {
                 gravity::compute_blocks(tree.subgrid(leaf))
             })
         };
-        let moments: Vec<Moments> = gravity::upward_pass(&self.tree, &blocks);
-        let leaf_pos = gravity::leaf_positions(&self.tree);
+        self.gravity_ws.upward_pass(&self.tree, &blocks);
+        if !self.config.use_interaction_cache {
+            // Cache-off ablation: force the dual traversal every step.
+            self.interaction_cache.invalidate();
+        }
+        let rebuilt =
+            self.interaction_cache
+                .ensure(&self.tree, &self.gravity_ws.moments, self.config.theta);
         let accels = {
             let tree = &self.tree;
             let blocks = &blocks;
-            let moments = &moments;
-            let leaf_pos = &leaf_pos;
-            let md = &multipole_dispatch;
-            let nd = &monopole_dispatch;
-            let theta = self.config.theta;
+            let ws = &self.gravity_ws;
+            let lists = self.interaction_cache.lists();
+            let scratch_pool = &self.scratch;
+            let kernels = GravityKernels {
+                multipole: &multipole_dispatch,
+                monopole: &monopole_dispatch,
+                simd: self.config.simd_policy(),
+            };
+            let kernels = &kernels;
             par_map_leaves(&handle, tree, |leaf| {
-                let (far, near) = gravity::interaction_lists(tree, moments, leaf, theta);
-                let acc =
-                    gravity::accel_for_leaf(tree, moments, blocks, leaf_pos, leaf, theta, md, nd);
+                let (far, near) = &lists[ws.leaf_pos[leaf]];
+                let mut scratch = scratch_pool.take();
+                let acc = gravity::accel_for_leaf_with(
+                    tree,
+                    &ws.moments,
+                    blocks,
+                    &ws.leaf_pos,
+                    leaf,
+                    far,
+                    near,
+                    kernels,
+                    &mut scratch,
+                );
+                scratch_pool.put(scratch);
                 (acc, far.len() as u64, near.len() as u64)
             })
         };
@@ -236,16 +277,33 @@ impl Driver {
             }
         }
 
-        // Work accounting.
+        // Work accounting. Far (M2L) interactions are charged on the
+        // SIMD-*padded* source count: the remainder pack of each far list
+        // still occupies full vector lanes, and the projection must see
+        // that waste. Near lists stream 64-block leaves (a multiple of
+        // every width), so padding is a no-op there.
         let cells = self.tree.cell_count() as u64;
         self.work.hydro_flops += cells * hydro::HYDRO_FLOPS_PER_CELL;
         self.work.bytes += cells * hydro::HYDRO_BYTES_PER_CELL;
-        let far_inter = far_total * gravity::BLOCKS as u64;
+        let lanes = self.config.simd_policy().lanes() as u64;
+        let far_padded: u64 = accels
+            .iter()
+            .map(|(_, far, _)| rv_machine::simd_padded_interactions(*far, lanes))
+            .sum();
+        let far_inter = far_padded * gravity::BLOCKS as u64;
         let near_inter = near_total * (gravity::BLOCKS * gravity::BLOCKS) as u64;
         self.work.far_interactions += far_inter;
         self.work.near_interactions += near_inter;
         self.work.gravity_flops += far_inter * gravity::MULTIPOLE_FLOPS_PER_INTERACTION
             + near_inter * gravity::MONOPOLE_FLOPS_PER_INTERACTION;
+        if rebuilt {
+            // MAC evaluations only ran on a cache miss; the visited-node
+            // count is proxied by the list sizes (every accepted or opened
+            // node was MAC-tested).
+            let mac = far_total + near_total;
+            self.work.mac_evals += mac;
+            self.work.gravity_flops += mac * gravity::MAC_FLOPS_PER_EVAL;
+        }
 
         self.sim_time += dt;
         dt
@@ -279,6 +337,7 @@ impl Driver {
             cells_per_second: cells_processed as f64 / elapsed.max(1e-12),
             runtime_stats: runtime.stats(),
             work: self.work,
+            cache: self.interaction_cache.stats(),
             sim_time: self.sim_time,
         }
     }
@@ -286,6 +345,18 @@ impl Driver {
     /// Work counters accumulated so far.
     pub fn work(&self) -> WorkEstimate {
         self.work
+    }
+
+    /// Interaction-list cache counters accumulated so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.interaction_cache.stats()
+    }
+
+    /// Refine one leaf mid-run (dynamic AMR). Bumps the octree's topology
+    /// generation, which invalidates the interaction-list cache and the
+    /// gravity workspace's cached traversal order on the next step.
+    pub fn refine_leaf(&mut self, leaf: NodeId) -> [NodeId; 8] {
+        self.tree.refine_leaf(leaf)
     }
 
     /// Current simulation time.
@@ -382,6 +453,68 @@ mod tests {
                 "sim time must not depend on dispatch backend: {results:?}"
             );
         }
+    }
+
+    #[test]
+    fn interaction_cache_hits_across_steps() {
+        let mut d = Driver::new(OctoConfig {
+            stop_step: 4,
+            ..tiny_config(KernelType::KokkosSerial)
+        });
+        let m = d.run(2);
+        // Static topology: one miss on the first step, hits after.
+        assert_eq!(m.cache.misses, 1);
+        assert_eq!(m.cache.hits, 3);
+        // Cache-off ablation rebuilds every step.
+        let mut off = Driver::new(OctoConfig {
+            stop_step: 4,
+            use_interaction_cache: false,
+            ..tiny_config(KernelType::KokkosSerial)
+        });
+        let m_off = off.run(2);
+        assert_eq!(m_off.cache.misses, 4);
+        assert_eq!(m_off.cache.hits, 0);
+        assert!(
+            m_off.work.mac_evals > m.work.mac_evals,
+            "cache hits must not be billed MAC evaluations"
+        );
+    }
+
+    #[test]
+    fn refinement_between_solves_matches_uncached_driver() {
+        // The ISSUE's regression test: refining the octree between solves
+        // must invalidate the interaction-list cache, so a cached run stays
+        // bitwise identical to a cache-off run.
+        let cfg_on = tiny_config(KernelType::KokkosSerial);
+        let cfg_off = OctoConfig {
+            use_interaction_cache: false,
+            ..cfg_on
+        };
+        let mut d_on = Driver::new(cfg_on);
+        let mut d_off = Driver::new(cfg_off);
+        let rt = Runtime::new(2);
+        d_on.step(&rt);
+        d_off.step(&rt);
+        let leaf_on = d_on.tree().leaf_ids()[0];
+        let leaf_off = d_off.tree().leaf_ids()[0];
+        assert_eq!(leaf_on, leaf_off);
+        let gen_before = d_on.tree().generation();
+        d_on.refine_leaf(leaf_on);
+        d_off.refine_leaf(leaf_off);
+        assert!(d_on.tree().generation() > gen_before);
+        d_on.step(&rt);
+        d_off.step(&rt);
+        assert_eq!(d_on.tree().leaf_count(), d_off.tree().leaf_count());
+        for (&a, &b) in d_on.tree().leaf_ids().iter().zip(d_off.tree().leaf_ids()) {
+            assert_eq!(a, b);
+            let ga = d_on.tree().subgrid(a).interior_data();
+            let gb = d_off.tree().subgrid(b).interior_data();
+            assert_eq!(ga, gb, "cached run diverged from uncached after refine");
+        }
+        // Both steps of the cached run were misses: the initial build and
+        // the rebuild forced by the generation bump.
+        assert_eq!(d_on.cache_stats().misses, 2);
+        assert_eq!(d_on.cache_stats().hits, 0);
     }
 
     #[test]

@@ -49,6 +49,74 @@ impl KernelType {
     }
 }
 
+/// SIMD width policy for the gravity kernels — the second, orthogonal axis
+/// of kernel configuration. [`KernelType`] picks the *execution space*
+/// (where the per-leaf loops run); `SimdPolicy` picks the *data-parallel
+/// width* of the inner interaction loops, mirroring how the real Octo-Tiger
+/// combines Kokkos execution spaces with `Kokkos::Experimental::simd` types
+/// ("From Merging Frameworks to Merging Stars", Daiß et al. 2022).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdPolicy {
+    /// Reference scalar AoS-order loops — kept as an always-available
+    /// backend so agreement tests keep the vector path honest. This is
+    /// also what the RISC-V boards run (no V extension, Table 2).
+    Scalar,
+    /// Width-generic `Simd<W>` loops over the SoA block layout;
+    /// the width is one of 1, 2, 4, 8.
+    Width(usize),
+}
+
+impl SimdPolicy {
+    /// Widths the kernels are compiled for (monomorphized `Simd<W>` loops).
+    pub const SUPPORTED_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+    /// Policy from a configured width: `0` selects the scalar reference
+    /// path, otherwise the width must be one of [`Self::SUPPORTED_WIDTHS`].
+    pub fn from_width(w: usize) -> Result<Self, String> {
+        if w == 0 {
+            Ok(SimdPolicy::Scalar)
+        } else if Self::SUPPORTED_WIDTHS.contains(&w) {
+            Ok(SimdPolicy::Width(w))
+        } else {
+            Err(format!(
+                "unsupported SIMD width {w} (use 0 for scalar, or one of 1/2/4/8)"
+            ))
+        }
+    }
+
+    /// The width the target architecture would compile the pack type to
+    /// (Table 2's vector length): 8 on A64FX/Skylake, 4 on the EPYC,
+    /// 1 on the RISC-V boards.
+    pub fn for_arch(arch: rv_machine::CpuArch) -> Self {
+        SimdPolicy::Width(kokkos_lite::simd::natural_width(arch).max(1))
+    }
+
+    /// Lane count charged by the cost model: scalar and `Width(1)` both
+    /// process one interaction per "pack".
+    pub fn lanes(self) -> usize {
+        match self {
+            SimdPolicy::Scalar => 1,
+            SimdPolicy::Width(w) => w.max(1),
+        }
+    }
+
+    /// Label used in figure/bench output.
+    pub fn label(self) -> String {
+        match self {
+            SimdPolicy::Scalar => "scalar".to_string(),
+            SimdPolicy::Width(w) => format!("simd{w}"),
+        }
+    }
+}
+
+impl Default for SimdPolicy {
+    /// The AMD/Intel AVX2 width — the configuration the acceptance bench
+    /// compares against scalar.
+    fn default() -> Self {
+        SimdPolicy::Width(4)
+    }
+}
+
 /// Runtime dispatcher for one kernel backend. Built once per run from the
 /// configured [`KernelType`]; all Octo-Tiger kernels (hydro, multipole,
 /// monopole) funnel their per-cell loops through it, so switching the CLI
@@ -181,6 +249,34 @@ mod tests {
             let s = d.reduce_sum(101, |i| i as f64);
             assert_eq!(s, 5050.0);
         }
+    }
+
+    #[test]
+    fn simd_policy_from_width_and_for_arch() {
+        assert_eq!(SimdPolicy::from_width(0).unwrap(), SimdPolicy::Scalar);
+        for w in SimdPolicy::SUPPORTED_WIDTHS {
+            assert_eq!(SimdPolicy::from_width(w).unwrap(), SimdPolicy::Width(w));
+        }
+        assert!(SimdPolicy::from_width(3).is_err());
+        assert!(SimdPolicy::from_width(16).is_err());
+        // Table 2 widths: SVE/AVX-512 = 8, AVX2 = 4, RISC-V scalar = 1.
+        assert_eq!(
+            SimdPolicy::for_arch(rv_machine::CpuArch::A64fx),
+            SimdPolicy::Width(8)
+        );
+        assert_eq!(
+            SimdPolicy::for_arch(rv_machine::CpuArch::Epyc7543),
+            SimdPolicy::Width(4)
+        );
+        assert_eq!(
+            SimdPolicy::for_arch(rv_machine::CpuArch::RiscvU74),
+            SimdPolicy::Width(1)
+        );
+        assert_eq!(SimdPolicy::Scalar.lanes(), 1);
+        assert_eq!(SimdPolicy::Width(8).lanes(), 8);
+        assert_eq!(SimdPolicy::default(), SimdPolicy::Width(4));
+        assert_eq!(SimdPolicy::Scalar.label(), "scalar");
+        assert_eq!(SimdPolicy::Width(4).label(), "simd4");
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub struct Octree {
     index: HashMap<(u32, [u32; 3]), NodeId>,
     domain_half: f64,
     max_level: u32,
+    generation: u64,
 }
 
 impl Octree {
@@ -64,6 +65,7 @@ impl Octree {
             index: HashMap::new(),
             domain_half,
             max_level: config.max_level,
+            generation: 0,
         };
         let root = tree.push_node(0, [0, 0, 0], None);
         // Density-driven refinement.
@@ -116,6 +118,92 @@ impl Octree {
             );
         }
         self.nodes[id].children = Some(kids);
+        kids
+    }
+
+    /// Topology generation: bumped whenever the set of tree nodes changes
+    /// (currently only through [`Octree::refine_leaf`]). Consumers that
+    /// cache topology-derived data — the gravity interaction lists, the
+    /// solver workspace — key on this counter to know when to rebuild.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Refine one leaf in place mid-run (dynamic AMR): split it into 8
+    /// children, prolongate the leaf's fields onto them piecewise-constant
+    /// (conservative: each child cell copies its covering parent cell),
+    /// restore the 2:1 face grading by recursively refining any
+    /// now-too-coarse neighbour leaves the same way, bump the topology
+    /// generation and re-collect the leaf order. Returns the 8 children of
+    /// `leaf`.
+    pub fn refine_leaf(&mut self, leaf: NodeId) -> [NodeId; 8] {
+        let kids = self.refine_leaf_with_data(leaf);
+        // Restore grading: every refined node's same-level face neighbours
+        // must exist; refine covering leaves (with data) until they do.
+        loop {
+            let mut to_refine = Vec::new();
+            for id in 0..self.nodes.len() {
+                if self.nodes[id].children.is_none() {
+                    continue;
+                }
+                let (level, coords) = (self.nodes[id].level, self.nodes[id].coords);
+                for face in Face::ALL {
+                    if let Some(nc) = self.neighbor_coords(level, coords, face) {
+                        if self.index.contains_key(&(level, nc)) {
+                            continue;
+                        }
+                        let cover = self.deepest_node_at(level, nc);
+                        if self.nodes[cover].children.is_none() && !to_refine.contains(&cover) {
+                            to_refine.push(cover);
+                        }
+                    }
+                }
+            }
+            if to_refine.is_empty() {
+                break;
+            }
+            for id in to_refine {
+                if self.nodes[id].children.is_none() {
+                    self.refine_leaf_with_data(id);
+                }
+            }
+        }
+        self.generation += 1;
+        self.collect_leaves();
+        kids
+    }
+
+    /// Split one data-carrying leaf and prolongate its fields onto the 8
+    /// children (piecewise constant). Does not touch the leaf order or the
+    /// generation counter — [`Octree::refine_leaf`] finalizes those.
+    fn refine_leaf_with_data(&mut self, leaf: NodeId) -> [NodeId; 8] {
+        let parent_grid = self.nodes[leaf]
+            .subgrid
+            .take()
+            .expect("refine_leaf needs a data-carrying leaf");
+        let kids = self.refine(leaf);
+        self.max_level = self.max_level.max(self.nodes[leaf].level + 1);
+        for (n, &kid) in kids.iter().enumerate() {
+            let d = [(n >> 2) & 1, (n >> 1) & 1, n & 1];
+            let (origin, dx) = self.node_geometry(kid);
+            let mut grid = SubGrid::new(origin, dx);
+            for f in 0..NF {
+                for i in 0..NX {
+                    for j in 0..NX {
+                        for k in 0..NX {
+                            let v = parent_grid.at(
+                                f,
+                                (d[0] * NX / 2 + i / 2) as i64,
+                                (d[1] * NX / 2 + j / 2) as i64,
+                                (d[2] * NX / 2 + k / 2) as i64,
+                            );
+                            grid.set(f, i as i64, j as i64, k as i64, v);
+                        }
+                    }
+                }
+            }
+            self.nodes[kid].subgrid = Some(grid);
+        }
         kids
     }
 
@@ -643,6 +731,73 @@ mod tests {
             "level-4 leaf count {leaves} should be paper-scale (~1184)"
         );
         assert_eq!(t.cell_count(), leaves * 512);
+    }
+
+    #[test]
+    fn refine_leaf_bumps_generation_and_conserves_mass() {
+        let mut t = small_tree(1);
+        assert_eq!(t.generation(), 0);
+        let mass_before = t.total_mass();
+        let leaves_before = t.leaf_count();
+        let victim = t.leaf_ids()[0];
+        let kids = t.refine_leaf(victim);
+        assert_eq!(t.generation(), 1);
+        // One leaf became 8 (uniform level-1 tree stays 2:1 balanced, so
+        // no cascading refinement).
+        assert_eq!(t.leaf_count(), leaves_before + 7);
+        assert!(t.is_balanced());
+        for &kid in &kids {
+            assert_eq!(t.node(kid).level, 2);
+            assert!(t.node(kid).subgrid.is_some(), "children carry data");
+        }
+        assert!(t.node(victim).subgrid.is_none(), "parent data moved down");
+        // Piecewise-constant prolongation is conservative.
+        let mass_after = t.total_mass();
+        assert!(
+            ((mass_after - mass_before) / mass_before).abs() < 1e-12,
+            "refinement must conserve mass: {mass_before} -> {mass_after}"
+        );
+        // Leaf order stays deterministic (sorted by level, coords).
+        let ids = t.leaf_ids();
+        let mut keys: Vec<_> = ids
+            .iter()
+            .map(|&l| {
+                let n = t.node(l);
+                (n.level, n.coords)
+            })
+            .collect();
+        let sorted = {
+            let mut s = keys.clone();
+            s.sort_unstable();
+            s
+        };
+        keys.sort_unstable();
+        assert_eq!(keys, sorted);
+        // Prolongated children sample the same density field as the parent
+        // did (piecewise constant).
+        let sampled = t.sample(field::RHO, [-0.9, -0.9, -0.9]);
+        assert!(sampled >= 0.0);
+    }
+
+    #[test]
+    fn refine_leaf_restores_grading_recursively() {
+        let mut t = small_tree(2);
+        // Find the deepest leaf and refine it twice: the second split can
+        // force neighbours to refine to keep the 2:1 grading.
+        let deepest = *t
+            .leaf_ids()
+            .iter()
+            .max_by_key(|&&l| t.node(l).level)
+            .unwrap();
+        let kids = t.refine_leaf(deepest);
+        assert!(t.is_balanced());
+        let g1 = t.generation();
+        t.refine_leaf(kids[0]);
+        assert!(t.is_balanced(), "cascaded refinement keeps 2:1 grading");
+        assert_eq!(t.generation(), g1 + 1);
+        for &l in t.leaf_ids() {
+            assert!(t.node(l).subgrid.is_some(), "every leaf carries data");
+        }
     }
 
     #[test]

@@ -195,6 +195,20 @@ impl SubGrid {
         out
     }
 
+    /// Interior values of one field in cell-index order (row-major
+    /// `(i·NX + j)·NX + k`, no ghosts) — the contiguous SoA-friendly load
+    /// the gravity P2M kernel streams instead of strided per-cell `at`
+    /// calls through the ghost frame.
+    pub fn interior_field(&self, f: usize, out: &mut [f64; CELLS]) {
+        for i in 0..NX {
+            for j in 0..NX {
+                for k in 0..NX {
+                    out[(i * NX + j) * NX + k] = self.at(f, i as i64, j as i64, k as i64);
+                }
+            }
+        }
+    }
+
     /// Install interior data produced by [`SubGrid::interior_data`].
     pub fn set_interior_data(&mut self, data: &[f64]) {
         assert_eq!(data.len(), NF * NX * NX * NX, "interior data size mismatch");

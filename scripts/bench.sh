@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Gravity benchmark baseline: runs the criterion-style gravity/octotiger
+# benches in release mode and refreshes BENCH_gravity.json at the repo root
+# (the cross-PR baseline series — commit the refreshed file).
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   one short iteration for CI; does NOT rewrite BENCH_gravity.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+fi
+
+echo "== gravity SIMD + interaction-cache bench (writes BENCH_gravity.json) =="
+BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_gravity
+
+if [[ "$SMOKE" == "0" ]]; then
+  echo "== octotiger kernel bench (stdout reference numbers) =="
+  cargo bench -q -p repro-bench --bench bench_octotiger
+
+  echo
+  echo "BENCH_gravity.json updated:"
+  cat BENCH_gravity.json
+fi

@@ -10,6 +10,13 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== SIMD/scalar kernel agreement =="
+cargo test -q -p octotiger dispatch_backends_agree_on_gravity
+cargo test -q --test simd_gravity_prop
+
+echo "== gravity bench smoke (one short iteration, no timing assertions) =="
+BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_gravity
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
