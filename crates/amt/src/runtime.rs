@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use apex_lite::trace::{self, Cat, ThreadLabel};
 use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
@@ -30,6 +31,30 @@ struct Stats {
     parked: AtomicU64,
     yields: AtomicU64,
     panics: AtomicU64,
+}
+
+/// Per-worker event counters (the `/runtime/worker{N}/...` counters in the
+/// apex-lite namespace). Kept separate from the global [`Stats`] totals so
+/// the hot paths touch one extra same-core atomic, not a shared one.
+#[derive(Default)]
+struct WorkerCounters {
+    executed: AtomicU64,
+    stolen: AtomicU64,
+    parked: AtomicU64,
+    yields: AtomicU64,
+}
+
+/// Snapshot of one worker's event counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerStats {
+    /// Tasks this worker executed to completion.
+    pub tasks_executed: u64,
+    /// Successful steals this worker performed.
+    pub steals: u64,
+    /// Times this worker parked for lack of work.
+    pub parks: u64,
+    /// Cooperative yields on this worker.
+    pub yields: u64,
 }
 
 /// Snapshot of scheduler event counts since construction (or the last
@@ -50,6 +75,22 @@ pub struct RuntimeStats {
     pub panics: u64,
 }
 
+impl RuntimeStats {
+    /// Per-interval sample: the events counted since `prev` was taken.
+    /// Saturating, so per-step sampling never requires zeroing the shared
+    /// counters mid-run (and survives a concurrent [`Runtime::reset_stats`]).
+    pub fn delta(&self, prev: &RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            tasks_spawned: self.tasks_spawned.saturating_sub(prev.tasks_spawned),
+            tasks_executed: self.tasks_executed.saturating_sub(prev.tasks_executed),
+            steals: self.steals.saturating_sub(prev.steals),
+            parks: self.parks.saturating_sub(prev.parks),
+            yields: self.yields.saturating_sub(prev.yields),
+            panics: self.panics.saturating_sub(prev.panics),
+        }
+    }
+}
+
 pub(crate) struct Shared {
     injector: Injector<Task>,
     stealers: Vec<Stealer<Task>>,
@@ -58,6 +99,10 @@ pub(crate) struct Shared {
     wake: Condvar,
     sleepers: AtomicU64,
     stats: Stats,
+    workers: Vec<WorkerCounters>,
+    /// Trace process lane for this runtime's threads (locality id in
+    /// cluster runs, 0 otherwise).
+    pid: u32,
     threads: usize,
 }
 
@@ -111,6 +156,8 @@ impl Shared {
                     match self.stealers[victim].steal() {
                         Steal::Success(t) => {
                             self.stats.stolen.fetch_add(1, Ordering::Relaxed);
+                            self.workers[index].stolen.fetch_add(1, Ordering::Relaxed);
+                            trace::instant(Cat::Sched, "steal");
                             return Some(t);
                         }
                         Steal::Empty => break,
@@ -122,8 +169,12 @@ impl Shared {
         None
     }
 
-    fn run_task(&self, task: Task) {
+    fn run_task(&self, task: Task, worker: Option<usize>) {
         self.stats.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(i) = worker {
+            self.workers[i].executed.fetch_add(1, Ordering::Relaxed);
+        }
+        let _span = trace::span(Cat::Task, "execute");
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
             // Futures carry their own panic payloads; a detached task that
             // panics is counted and otherwise dropped, keeping workers alive.
@@ -153,10 +204,30 @@ impl Shared {
         ] {
             c.store(0, Ordering::Relaxed);
         }
+        for w in &self.workers {
+            for c in [&w.executed, &w.stolen, &w.parked, &w.yields] {
+                c.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn worker_snapshot(&self) -> Vec<WorkerStats> {
+        self.workers
+            .iter()
+            .map(|w| WorkerStats {
+                tasks_executed: w.executed.load(Ordering::Relaxed),
+                steals: w.stolen.load(Ordering::Relaxed),
+                parks: w.parked.load(Ordering::Relaxed),
+                yields: w.yields.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 }
 
 fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<Task>) {
+    // Announce the trace identity before any event: Chrome lanes read
+    // "locality{pid} / worker{index}". Never allocates (tracing may be off).
+    trace::set_thread_label(shared.pid, ThreadLabel::Worker(index as u32));
     CTX.with(|c| {
         *c.borrow_mut() = Some(WorkerCtx {
             shared: Arc::clone(&shared),
@@ -174,11 +245,13 @@ fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<Task>) {
             ctx.shared.find_task(&ctx.deque, ctx.index)
         });
         match task {
-            Some(t) => shared.run_task(t),
+            Some(t) => shared.run_task(t, Some(index)),
             None => {
                 shared.stats.parked.fetch_add(1, Ordering::Relaxed);
+                shared.workers[index].parked.fetch_add(1, Ordering::Relaxed);
                 shared.sleepers.fetch_add(1, Ordering::SeqCst);
                 {
+                    let _span = trace::span(Cat::Sched, "park");
                     let mut g = shared.sleep_lock.lock();
                     // Re-check under the lock: a producer may have pushed and
                     // notified between our failed search and this point.
@@ -203,22 +276,20 @@ pub(crate) fn on_worker() -> bool {
 /// *help* instead of stalling a core (HPX: suspending the hpx-thread lets
 /// the worker pick up other work).
 pub(crate) fn help_one() -> bool {
-    let task = CTX.with(|c| {
+    let found = CTX.with(|c| {
         let borrow = c.borrow();
-        borrow
-            .as_ref()
-            .and_then(|ctx| ctx.shared.find_task(&ctx.deque, ctx.index))
+        borrow.as_ref().and_then(|ctx| {
+            ctx.shared
+                .find_task(&ctx.deque, ctx.index)
+                .map(|t| (Arc::clone(&ctx.shared), ctx.index, t))
+        })
     });
-    match task {
-        Some(t) => {
-            let shared = CTX.with(|c| {
-                c.borrow()
-                    .as_ref()
-                    .map(|ctx| Arc::clone(&ctx.shared))
-                    .expect("worker context missing")
-            });
+    match found {
+        Some((shared, index, t)) => {
             shared.stats.yields.fetch_add(1, Ordering::Relaxed);
-            shared.run_task(t);
+            shared.workers[index].yields.fetch_add(1, Ordering::Relaxed);
+            trace::instant(Cat::Sched, "yield");
+            shared.run_task(t, Some(index));
             true
         }
         None => false,
@@ -261,6 +332,7 @@ impl Handle {
         if self.shared.shutdown.load(Ordering::SeqCst) {
             self.shared.stats.spawned.fetch_add(1, Ordering::Relaxed);
             self.shared.stats.executed.fetch_add(1, Ordering::Relaxed);
+            let _span = trace::span(Cat::Task, "execute");
             f();
             return;
         }
@@ -275,6 +347,34 @@ impl Handle {
     /// Snapshot of the scheduler event counters.
     pub fn stats(&self) -> RuntimeStats {
         self.shared.snapshot()
+    }
+
+    /// Per-worker event counters, indexed by worker id.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared.worker_snapshot()
+    }
+
+    /// Register this runtime's counters with an apex-lite registry under
+    /// `prefix` (e.g. `/runtime`): scheduler totals plus per-worker
+    /// `worker{N}/...` breakdowns. The provider captures a clone of this
+    /// handle, so it stays valid for the registry's lifetime.
+    pub fn register_counters(&self, registry: &mut apex_lite::CounterRegistry, prefix: &str) {
+        let h = self.clone();
+        registry.register(prefix, move |c| {
+            let s = h.stats();
+            c.count("tasks_spawned", s.tasks_spawned);
+            c.count("tasks_executed", s.tasks_executed);
+            c.count("steals", s.steals);
+            c.count("parks", s.parks);
+            c.count("yields", s.yields);
+            c.count("panics", s.panics);
+            for (i, w) in h.worker_stats().into_iter().enumerate() {
+                c.count(&format!("worker{i}/executed"), w.tasks_executed);
+                c.count(&format!("worker{i}/steals"), w.steals);
+                c.count(&format!("worker{i}/parks"), w.parks);
+                c.count(&format!("worker{i}/yields"), w.yields);
+            }
+        });
     }
 }
 
@@ -308,6 +408,13 @@ pub struct Runtime {
 impl Runtime {
     /// Start a runtime with `threads` workers (≥1, like `--hpx:threads=N`).
     pub fn new(threads: usize) -> Self {
+        Self::new_labeled(threads, 0)
+    }
+
+    /// Start a runtime whose worker threads carry trace process lane `pid`
+    /// (the distrib cluster passes the locality id, so a merged trace shows
+    /// one Chrome process per locality).
+    pub fn new_labeled(threads: usize, pid: u32) -> Self {
         assert!(threads >= 1, "need at least one worker thread");
         let deques: Vec<Deque<Task>> = (0..threads).map(|_| Deque::new_lifo()).collect();
         let stealers = deques.iter().map(Deque::stealer).collect();
@@ -319,6 +426,8 @@ impl Runtime {
             wake: Condvar::new(),
             sleepers: AtomicU64::new(0),
             stats: Stats::default(),
+            workers: (0..threads).map(|_| WorkerCounters::default()).collect(),
+            pid,
             threads,
         });
         let joins = deques
@@ -357,6 +466,11 @@ impl Runtime {
     /// Snapshot of the scheduler event counters.
     pub fn stats(&self) -> RuntimeStats {
         self.shared.snapshot()
+    }
+
+    /// Per-worker event counters, indexed by worker id.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared.worker_snapshot()
     }
 
     /// Zero the event counters (between experiment repetitions).
@@ -537,5 +651,54 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_rejected() {
         let _ = Runtime::new(0);
+    }
+
+    #[test]
+    fn stats_delta_is_per_interval_and_saturating() {
+        let rt = Runtime::new(2);
+        for f in (0..50).map(|i| rt.spawn(move || i)).collect::<Vec<_>>() {
+            f.get();
+        }
+        let prev = rt.stats();
+        for f in (0..30).map(|i| rt.spawn(move || i)).collect::<Vec<_>>() {
+            f.get();
+        }
+        let d = rt.stats().delta(&prev);
+        assert!(d.tasks_spawned >= 30 && d.tasks_spawned < 80);
+        // A reset between samples saturates to zero instead of wrapping.
+        rt.reset_stats();
+        let after_reset = rt.stats().delta(&prev);
+        assert_eq!(after_reset.tasks_spawned, 0);
+    }
+
+    #[test]
+    fn per_worker_stats_account_for_all_executions() {
+        let rt = Runtime::new(2);
+        for f in (0..200).map(|i| rt.spawn(move || i)).collect::<Vec<_>>() {
+            f.get();
+        }
+        let total = rt.stats();
+        let per = rt.worker_stats();
+        assert_eq!(per.len(), 2);
+        let executed: u64 = per.iter().map(|w| w.tasks_executed).sum();
+        assert_eq!(executed, total.tasks_executed);
+        let steals: u64 = per.iter().map(|w| w.steals).sum();
+        assert_eq!(steals, total.steals);
+    }
+
+    #[test]
+    fn counter_registry_exports_runtime_namespace() {
+        let rt = Runtime::new(2);
+        let mut reg = apex_lite::CounterRegistry::new();
+        rt.handle().register_counters(&mut reg, "/runtime");
+        for f in (0..50).map(|i| rt.spawn(move || i)).collect::<Vec<_>>() {
+            f.get();
+        }
+        let s = reg.sample();
+        assert!(s.count("/runtime/tasks_executed") >= 50);
+        assert!(s.get("/runtime/worker0/executed").is_some());
+        assert!(s.get("/runtime/worker1/steals").is_some());
+        // Totals + 4 counters per worker.
+        assert_eq!(s.len(), 6 + 2 * 4);
     }
 }

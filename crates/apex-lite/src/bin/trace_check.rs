@@ -1,0 +1,119 @@
+//! `trace_check` — CI validator for exported Chrome traces.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_check [--require CAT[,CAT...]] [--min-spans N] FILE...
+//! ```
+//!
+//! Each FILE is parsed and validated (well-formed JSON, required fields,
+//! per-thread completion-order monotonicity, strict span nesting). With
+//! `--require`, every listed category must appear in every file — the CI
+//! smoke run uses `--require task,phase,comm` to prove the trace spans all
+//! three instrumented layers. Exits non-zero on any failure.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut require: Vec<String> = Vec::new();
+    let mut min_spans: u64 = 1;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--require=") {
+            require.extend(v.split(',').map(str::to_string));
+        } else if arg == "--require" {
+            match args.next() {
+                Some(v) => require.extend(v.split(',').map(str::to_string)),
+                None => return usage("--require needs a value"),
+            }
+        } else if let Some(v) = arg.strip_prefix("--min-spans=") {
+            match v.parse() {
+                Ok(n) => min_spans = n,
+                Err(_) => return usage("--min-spans needs a number"),
+            }
+        } else if arg == "--min-spans" {
+            match args.next().as_deref().map(str::parse) {
+                Some(Ok(n)) => min_spans = n,
+                _ => return usage("--min-spans needs a number"),
+            }
+        } else if arg == "--help" || arg == "-h" {
+            return usage("");
+        } else if arg.starts_with('-') {
+            return usage(&format!("unknown flag {arg:?}"));
+        } else {
+            files.push(arg);
+        }
+    }
+    if files.is_empty() {
+        return usage("no trace files given");
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{file}: FAIL: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match apex_lite::validate(&text) {
+            Ok(summary) => {
+                let mut problems: Vec<String> = Vec::new();
+                if summary.spans < min_spans {
+                    problems.push(format!(
+                        "only {} spans (need >= {min_spans})",
+                        summary.spans
+                    ));
+                }
+                for cat in &require {
+                    if summary.count_cat(cat) == 0 {
+                        problems.push(format!("no events in required category {cat:?}"));
+                    }
+                }
+                if problems.is_empty() {
+                    let cats: Vec<String> = summary
+                        .by_cat
+                        .iter()
+                        .map(|(c, n)| format!("{c}:{n}"))
+                        .collect();
+                    println!(
+                        "{file}: OK — {} spans, {} instants, {} threads, {} localities [{}]",
+                        summary.spans,
+                        summary.instants,
+                        summary.threads,
+                        summary.pids,
+                        cats.join(" ")
+                    );
+                } else {
+                    eprintln!("{file}: FAIL: {}", problems.join("; "));
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("{file}: FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("trace_check: {err}");
+    }
+    eprintln!("usage: trace_check [--require CAT[,CAT...]] [--min-spans N] FILE...");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

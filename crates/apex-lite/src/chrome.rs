@@ -1,0 +1,384 @@
+//! Chrome trace-event exporter and validator.
+//!
+//! [`export`] turns a drained [`Trace`] into the Trace Event Format JSON
+//! that `about://tracing` and Perfetto load directly: one `"X"` (complete)
+//! event per span, `"i"` for instants, and `"M"` metadata records naming
+//! each process lane (`locality{pid}`) and thread. Timestamps are
+//! microseconds with nanosecond precision (three decimals), matching what
+//! APEX's OTF2→Chrome conversion produces for HPX runs.
+//!
+//! [`validate`] re-parses an exported file and checks the structural
+//! invariants the round-trip tests rely on: every event carries the fields
+//! its phase requires, per-thread events are recorded in non-decreasing
+//! completion order (the ring buffers record at span *close*), and spans on
+//! one thread are strictly nested — Perfetto renders overlapping
+//! non-nested spans on one track as garbage, so we reject them here.
+
+use crate::json::{self, Value};
+use crate::trace::{EventKind, Trace};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Format `ns` nanoseconds as microseconds with three decimals.
+fn fmt_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn push_meta(out: &mut String, kind: &str, pid: u32, tid: u32, name: &str) {
+    out.push_str("{\"ph\":\"M\",\"name\":\"");
+    out.push_str(kind);
+    let _ = write!(out, "\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"");
+    json::escape_into(out, name);
+    out.push_str("\"}},\n");
+}
+
+/// Serialize `trace` as a Chrome trace-event JSON document.
+pub fn export(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+
+    let mut seen_pids: Vec<u32> = Vec::new();
+    for (meta, _) in &trace.threads {
+        if !seen_pids.contains(&meta.pid) {
+            seen_pids.push(meta.pid);
+            push_meta(
+                &mut out,
+                "process_name",
+                meta.pid,
+                0,
+                &format!("locality{}", meta.pid),
+            );
+        }
+        push_meta(&mut out, "thread_name", meta.pid, meta.tid, &meta.name);
+    }
+
+    let mut first = true;
+    for (meta, events) in &trace.threads {
+        for ev in events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            match ev.kind {
+                EventKind::Span { dur_ns } => {
+                    out.push_str("{\"ph\":\"X\",\"name\":\"");
+                    json::escape_into(&mut out, ev.name);
+                    out.push_str("\",\"cat\":\"");
+                    out.push_str(ev.cat.as_str());
+                    let _ = write!(out, "\",\"pid\":{},\"tid\":{},\"ts\":", meta.pid, meta.tid);
+                    fmt_us(&mut out, ev.ts_ns);
+                    out.push_str(",\"dur\":");
+                    fmt_us(&mut out, dur_ns);
+                    out.push('}');
+                }
+                EventKind::Instant => {
+                    out.push_str("{\"ph\":\"i\",\"name\":\"");
+                    json::escape_into(&mut out, ev.name);
+                    out.push_str("\",\"cat\":\"");
+                    out.push_str(ev.cat.as_str());
+                    let _ = write!(out, "\",\"pid\":{},\"tid\":{},\"ts\":", meta.pid, meta.tid);
+                    fmt_us(&mut out, ev.ts_ns);
+                    out.push_str(",\"s\":\"t\"}");
+                }
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// What [`validate`] learned about a trace file.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// Number of `"X"` span events.
+    pub spans: u64,
+    /// Number of `"i"` instant events.
+    pub instants: u64,
+    /// Distinct `(pid, tid)` lanes carrying events.
+    pub threads: usize,
+    /// Distinct pids (locality lanes).
+    pub pids: usize,
+    /// Event counts per category.
+    pub by_cat: BTreeMap<String, u64>,
+    /// Event counts per name.
+    pub by_name: BTreeMap<String, u64>,
+}
+
+impl TraceSummary {
+    /// Events (spans + instants) in category `cat`.
+    pub fn count_cat(&self, cat: &str) -> u64 {
+        self.by_cat.get(cat).copied().unwrap_or(0)
+    }
+
+    /// Events named `name`.
+    pub fn count_name(&self, name: &str) -> u64 {
+        self.by_name.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Microsecond float → integer nanoseconds. Exported values are exact
+/// multiples of 0.001 µs, so rounding recovers the original integer.
+fn us_to_ns(us: f64) -> Result<u64, String> {
+    if !us.is_finite() || us < 0.0 {
+        return Err(format!("non-finite or negative timestamp {us}"));
+    }
+    Ok((us * 1000.0).round() as u64)
+}
+
+fn req_num(ev: &Value, key: &str) -> Result<f64, String> {
+    ev.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("event missing numeric {key:?}: {ev:?}"))
+}
+
+fn req_str<'a>(ev: &'a Value, key: &str) -> Result<&'a str, String> {
+    ev.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("event missing string {key:?}: {ev:?}"))
+}
+
+#[derive(Clone, Copy)]
+struct SpanRec {
+    ts: u64,
+    end: u64,
+}
+
+/// Validate an exported Chrome trace: well-formed JSON, required fields
+/// per event phase, per-thread completion-order monotonicity, and strict
+/// span nesting per thread. Returns counts on success.
+pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
+    let doc = json::parse(json_text)?;
+    let unit = doc
+        .get("displayTimeUnit")
+        .and_then(Value::as_str)
+        .ok_or("missing displayTimeUnit")?;
+    if unit != "ms" {
+        return Err(format!("unexpected displayTimeUnit {unit:?}"));
+    }
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_arr)
+        .ok_or("missing traceEvents array")?;
+
+    let mut summary = TraceSummary::default();
+    // Per (pid,tid): spans for the nesting check, and the completion time
+    // of the last event seen in file order.
+    let mut spans: BTreeMap<(u64, u64), Vec<SpanRec>> = BTreeMap::new();
+    let mut last_done: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut pids: Vec<u64> = Vec::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let ph = req_str(ev, "ph").map_err(|e| format!("event {i}: {e}"))?;
+        match ph {
+            "M" => {
+                let name = req_str(ev, "name")?;
+                if name != "process_name" && name != "thread_name" {
+                    return Err(format!("event {i}: unknown metadata {name:?}"));
+                }
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: metadata missing args.name"))?;
+            }
+            "X" | "i" => {
+                let name = req_str(ev, "name").map_err(|e| format!("event {i}: {e}"))?;
+                let cat = req_str(ev, "cat").map_err(|e| format!("event {i}: {e}"))?;
+                let pid = req_num(ev, "pid").map_err(|e| format!("event {i}: {e}"))? as u64;
+                let tid = req_num(ev, "tid").map_err(|e| format!("event {i}: {e}"))? as u64;
+                let ts = us_to_ns(req_num(ev, "ts").map_err(|e| format!("event {i}: {e}"))?)?;
+                let key = (pid, tid);
+                if !pids.contains(&pid) {
+                    pids.push(pid);
+                }
+                let done = if ph == "X" {
+                    let dur = us_to_ns(req_num(ev, "dur").map_err(|e| format!("event {i}: {e}"))?)?;
+                    let end = ts
+                        .checked_add(dur)
+                        .ok_or_else(|| format!("event {i}: ts+dur overflow"))?;
+                    spans.entry(key).or_default().push(SpanRec { ts, end });
+                    summary.spans += 1;
+                    end
+                } else {
+                    req_str(ev, "s").map_err(|e| format!("event {i}: {e}"))?;
+                    summary.instants += 1;
+                    ts
+                };
+                // Ring buffers record at completion: file order per thread
+                // must be non-decreasing in completion time.
+                if let Some(prev) = last_done.get(&key) {
+                    if done < *prev {
+                        return Err(format!(
+                            "event {i} ({name}): completion time regressed on pid {pid} tid \
+                             {tid} ({done} ns after {prev} ns)"
+                        ));
+                    }
+                }
+                last_done.insert(key, done);
+                *summary.by_cat.entry(cat.to_string()).or_insert(0) += 1;
+                *summary.by_name.entry(name.to_string()).or_insert(0) += 1;
+            }
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+
+    // Strict nesting per thread: sort (ts asc, end desc), sweep a stack.
+    // Two spans on one thread must be disjoint or one inside the other.
+    for ((pid, tid), mut recs) in spans {
+        recs.sort_by(|a, b| a.ts.cmp(&b.ts).then(b.end.cmp(&a.end)));
+        let mut stack: Vec<SpanRec> = Vec::new();
+        for s in recs {
+            loop {
+                match stack.last() {
+                    None => break,
+                    Some(top) if s.ts >= top.ts && s.end <= top.end => break,
+                    Some(top) if top.end <= s.ts => {
+                        stack.pop();
+                    }
+                    Some(top) => {
+                        return Err(format!(
+                            "pid {pid} tid {tid}: span [{}, {}] partially overlaps [{}, {}]",
+                            s.ts, s.end, top.ts, top.end
+                        ));
+                    }
+                }
+            }
+            stack.push(s);
+        }
+    }
+
+    summary.threads = last_done.len();
+    summary.pids = pids.len();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Cat, Event, EventKind, ThreadMeta, Trace};
+
+    fn meta(pid: u32, tid: u32, name: &str) -> ThreadMeta {
+        ThreadMeta {
+            pid,
+            tid,
+            name: name.to_string(),
+        }
+    }
+
+    fn span_ev(name: &'static str, cat: Cat, ts: u64, dur: u64) -> Event {
+        Event {
+            cat,
+            name,
+            ts_ns: ts,
+            kind: EventKind::Span { dur_ns: dur },
+        }
+    }
+
+    fn instant_ev(name: &'static str, cat: Cat, ts: u64) -> Event {
+        Event {
+            cat,
+            name,
+            ts_ns: ts,
+            kind: EventKind::Instant,
+        }
+    }
+
+    #[test]
+    fn export_validate_round_trip() {
+        let trace = Trace {
+            threads: vec![
+                (
+                    meta(0, 0, "worker0"),
+                    vec![
+                        // Completion order: child closes before parent.
+                        span_ev("m2l", Cat::Gravity, 1500, 400),
+                        instant_ev("steal", Cat::Sched, 2000),
+                        span_ev("gravity_solve", Cat::Phase, 1000, 4000),
+                    ],
+                ),
+                (
+                    meta(1, 1, "worker0"),
+                    vec![span_ev("flush", Cat::Comm, 100, 50)],
+                ),
+            ],
+            dropped: 0,
+        };
+        let out = export(&trace);
+        let s = validate(&out).unwrap();
+        assert_eq!(s.spans, 3);
+        assert_eq!(s.instants, 1);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.pids, 2);
+        assert_eq!(s.count_cat("gravity"), 1);
+        assert_eq!(s.count_cat("comm"), 1);
+        assert_eq!(s.count_name("gravity_solve"), 1);
+    }
+
+    #[test]
+    fn timestamps_survive_at_ns_precision() {
+        let trace = Trace {
+            threads: vec![(
+                meta(0, 0, "w"),
+                vec![span_ev("s", Cat::Task, 1_234_567_891, 987_654_321)],
+            )],
+            dropped: 0,
+        };
+        let out = export(&trace);
+        assert!(out.contains("\"ts\":1234567.891"));
+        assert!(out.contains("\"dur\":987654.321"));
+        validate(&out).unwrap();
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let trace = Trace {
+            threads: vec![(
+                meta(0, 0, "w"),
+                vec![
+                    span_ev("a", Cat::Task, 100, 100), // ends 200
+                    span_ev("b", Cat::Task, 150, 100), // ends 250: overlaps a
+                ],
+            )],
+            dropped: 0,
+        };
+        let err = validate(&export(&trace)).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn rejects_completion_order_regression() {
+        let trace = Trace {
+            threads: vec![(
+                meta(0, 0, "w"),
+                vec![
+                    span_ev("late", Cat::Task, 0, 500),  // done at 500
+                    span_ev("early", Cat::Task, 0, 100), // done at 100: regressed
+                ],
+            )],
+            dropped: 0,
+        };
+        let err = validate(&export(&trace)).unwrap_err();
+        assert!(err.contains("completion time regressed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_fields_and_bad_json() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"traceEvents\":[]}").is_err());
+        assert!(validate("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        // Empty trace is valid.
+        let s = validate("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}").unwrap();
+        assert_eq!(s.spans + s.instants, 0);
+    }
+
+    #[test]
+    fn escapes_names() {
+        let trace = Trace {
+            threads: vec![(
+                meta(0, 0, "we\"ird\nname"),
+                vec![span_ev("ok", Cat::Task, 0, 1)],
+            )],
+            dropped: 0,
+        };
+        validate(&export(&trace)).unwrap();
+    }
+}

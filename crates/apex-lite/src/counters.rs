@@ -1,0 +1,336 @@
+//! Hierarchical counter registry — the HPX performance-counter stand-in.
+//!
+//! HPX exposes `/threads{locality#0/total}/count/cumulative`-style counter
+//! paths, sampled on demand. This module unifies the workspace's scattered
+//! statistics (`amt::RuntimeStats`, `distrib::PortStats`, gravity cache
+//! hit/miss counts, work/flop estimates, energy model output) behind the
+//! same idea:
+//!
+//! * a [`CounterSnapshot`] maps slash-separated paths
+//!   (`/runtime/worker0/steals`) to typed values ([`CounterValue`]);
+//! * [`CounterSnapshot::delta`] turns two lifetime snapshots into a
+//!   per-interval sample without resetting any shared state mid-run;
+//! * a [`CounterRegistry`] holds long-lived *providers* (closures over
+//!   cloneable stat handles) so one `sample()` call assembles the whole
+//!   namespace;
+//! * [`render_table`] / [`render_step_table`] print the plain-text views
+//!   the `--counter-table` flag emits.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One counter value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CounterValue {
+    /// Monotonically accumulating event count (delta-able).
+    Count(u64),
+    /// Point-in-time measurement (watts, ratios); deltas keep the newer
+    /// reading.
+    Gauge(f64),
+}
+
+impl CounterValue {
+    /// Numeric view (for tables and plotting).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            CounterValue::Count(v) => *v as f64,
+            CounterValue::Gauge(v) => *v,
+        }
+    }
+}
+
+impl std::fmt::Display for CounterValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CounterValue::Count(v) => write!(f, "{v}"),
+            CounterValue::Gauge(v) => write!(f, "{v:.3}"),
+        }
+    }
+}
+
+/// A sampled set of counters, keyed by hierarchical path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterSnapshot {
+    values: BTreeMap<String, CounterValue>,
+}
+
+impl CounterSnapshot {
+    /// Empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set a count at `path` (slash-separated, e.g. `/runtime/steals`).
+    pub fn set_count(&mut self, path: impl Into<String>, v: u64) {
+        self.values.insert(path.into(), CounterValue::Count(v));
+    }
+
+    /// Set a gauge at `path`.
+    pub fn set_gauge(&mut self, path: impl Into<String>, v: f64) {
+        self.values.insert(path.into(), CounterValue::Gauge(v));
+    }
+
+    /// Value at `path`, if sampled.
+    pub fn get(&self, path: &str) -> Option<CounterValue> {
+        self.values.get(path).copied()
+    }
+
+    /// Count at `path` (0 when absent or a gauge).
+    pub fn count(&self, path: &str) -> u64 {
+        match self.get(path) {
+            Some(CounterValue::Count(v)) => v,
+            _ => 0,
+        }
+    }
+
+    /// Number of counters sampled.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(path, value)` in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, CounterValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Paths under `prefix` (e.g. every `/runtime/...` counter).
+    pub fn with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, CounterValue)> + 'a {
+        self.iter().filter(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Merge `other` into `self` (later values win on path collisions).
+    pub fn merge(&mut self, other: &CounterSnapshot) {
+        for (k, v) in other.iter() {
+            self.values.insert(k.to_string(), v);
+        }
+    }
+
+    /// Per-interval sample: counts become `self − prev` (saturating, so a
+    /// mid-run reset in the source can't underflow), gauges keep the newer
+    /// reading. Paths absent from `prev` pass through unchanged.
+    pub fn delta(&self, prev: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = CounterSnapshot::new();
+        for (path, v) in self.iter() {
+            let dv = match (v, prev.get(path)) {
+                (CounterValue::Count(now), Some(CounterValue::Count(then))) => {
+                    CounterValue::Count(now.saturating_sub(then))
+                }
+                (v, _) => v,
+            };
+            out.values.insert(path.to_string(), dv);
+        }
+        out
+    }
+}
+
+/// Bound collector a provider writes through: prefixes every path it emits.
+pub struct Collector<'a> {
+    prefix: &'a str,
+    snap: &'a mut CounterSnapshot,
+}
+
+impl Collector<'_> {
+    /// Emit a count at `{prefix}/{name}`.
+    pub fn count(&mut self, name: &str, v: u64) {
+        self.snap.set_count(format!("{}/{}", self.prefix, name), v);
+    }
+
+    /// Emit a gauge at `{prefix}/{name}`.
+    pub fn gauge(&mut self, name: &str, v: f64) {
+        self.snap.set_gauge(format!("{}/{}", self.prefix, name), v);
+    }
+}
+
+type Provider = Box<dyn Fn(&mut Collector<'_>) + Send + Sync>;
+
+/// Registry of counter providers. Register each subsystem once (closures
+/// capture cloneable stat handles — `amt::Handle`, `Arc<PortStats>`, ...);
+/// every [`CounterRegistry::sample`] call then assembles one coherent
+/// [`CounterSnapshot`] across all of them.
+#[derive(Default)]
+pub struct CounterRegistry {
+    providers: Vec<(String, Provider)>,
+}
+
+impl CounterRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `provider` under `prefix` (paths it emits become
+    /// `{prefix}/{name}`).
+    pub fn register(
+        &mut self,
+        prefix: impl Into<String>,
+        provider: impl Fn(&mut Collector<'_>) + Send + Sync + 'static,
+    ) {
+        self.providers.push((prefix.into(), Box::new(provider)));
+    }
+
+    /// Number of registered providers.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// True when no provider is registered.
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+
+    /// Sample every provider into one snapshot.
+    pub fn sample(&self) -> CounterSnapshot {
+        let mut snap = CounterSnapshot::new();
+        self.sample_into(&mut snap);
+        snap
+    }
+
+    /// Sample every provider into an existing snapshot (merging).
+    pub fn sample_into(&self, snap: &mut CounterSnapshot) {
+        for (prefix, provider) in &self.providers {
+            let mut c = Collector { prefix, snap };
+            provider(&mut c);
+        }
+    }
+}
+
+impl std::fmt::Debug for CounterRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CounterRegistry")
+            .field(
+                "prefixes",
+                &self.providers.iter().map(|(p, _)| p).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// Render one snapshot as an aligned two-column text table.
+pub fn render_table(title: &str, snap: &CounterSnapshot) -> String {
+    let width = snap.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    let mut out = format!("== {title} ({} counters) ==\n", snap.len());
+    for (path, v) in snap.iter() {
+        let _ = writeln!(out, "{path:<width$}  {v:>14}", v = v.to_string());
+    }
+    out
+}
+
+/// Render per-step delta snapshots as one table: rows are counter paths,
+/// one column per step — the `--counter-table` view.
+pub fn render_step_table(title: &str, steps: &[CounterSnapshot]) -> String {
+    let mut paths: Vec<&str> = Vec::new();
+    for s in steps {
+        for (k, _) in s.iter() {
+            if !paths.contains(&k) {
+                paths.push(k);
+            }
+        }
+    }
+    paths.sort_unstable();
+    let width = paths.iter().map(|p| p.len()).max().unwrap_or(0).max(7);
+    let mut out = format!("== {title} (per-step deltas) ==\n");
+    let mut header = format!("{:<width$}", "counter");
+    for i in 0..steps.len() {
+        let _ = write!(header, "  {:>14}", format!("step {i}"));
+    }
+    out.push_str(&header);
+    out.push('\n');
+    for path in paths {
+        let _ = write!(out, "{path:<width$}");
+        for s in steps {
+            let cell = s.get(path).map(|v| v.to_string()).unwrap_or_default();
+            let _ = write!(out, "  {cell:>14}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_set_get_and_prefix() {
+        let mut s = CounterSnapshot::new();
+        s.set_count("/runtime/worker0/steals", 3);
+        s.set_count("/runtime/worker1/steals", 5);
+        s.set_gauge("/energy/jh7110/watts", 3.22);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count("/runtime/worker0/steals"), 3);
+        assert_eq!(s.count("/absent"), 0);
+        assert_eq!(s.with_prefix("/runtime/").count(), 2);
+        assert_eq!(
+            s.get("/energy/jh7110/watts"),
+            Some(CounterValue::Gauge(3.22))
+        );
+    }
+
+    #[test]
+    fn delta_subtracts_counts_keeps_gauges() {
+        let mut a = CounterSnapshot::new();
+        a.set_count("/n", 10);
+        a.set_gauge("/w", 3.0);
+        let mut b = CounterSnapshot::new();
+        b.set_count("/n", 14);
+        b.set_gauge("/w", 3.5);
+        b.set_count("/new", 2);
+        let d = b.delta(&a);
+        assert_eq!(d.count("/n"), 4);
+        assert_eq!(d.get("/w"), Some(CounterValue::Gauge(3.5)));
+        assert_eq!(d.count("/new"), 2);
+        // A reset source (smaller now) saturates instead of underflowing.
+        let d2 = a.delta(&b);
+        assert_eq!(d2.count("/n"), 0);
+    }
+
+    #[test]
+    fn registry_samples_providers_under_prefixes() {
+        let mut reg = CounterRegistry::new();
+        reg.register("/runtime", |c| {
+            c.count("steals", 7);
+            c.count("parks", 2);
+        });
+        reg.register("/net", |c| c.count("messages", 40));
+        let s = reg.sample();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.count("/runtime/steals"), 7);
+        assert_eq!(s.count("/net/messages"), 40);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn merge_later_wins() {
+        let mut a = CounterSnapshot::new();
+        a.set_count("/x", 1);
+        let mut b = CounterSnapshot::new();
+        b.set_count("/x", 9);
+        b.set_count("/y", 3);
+        a.merge(&b);
+        assert_eq!(a.count("/x"), 9);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn tables_render_all_paths() {
+        let mut s1 = CounterSnapshot::new();
+        s1.set_count("/runtime/steals", 1);
+        let mut s2 = CounterSnapshot::new();
+        s2.set_count("/runtime/steals", 4);
+        s2.set_gauge("/energy/watts", 3.2);
+        let t = render_table("dump", &s2);
+        assert!(t.contains("/energy/watts"));
+        assert!(t.contains("3.200"));
+        let steps = render_step_table("run", &[s1, s2]);
+        assert!(steps.contains("step 0") && steps.contains("step 1"));
+        assert!(steps.contains("/runtime/steals"));
+    }
+}

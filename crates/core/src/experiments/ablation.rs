@@ -90,7 +90,7 @@ pub fn run_ablation_chunks(quick: bool) -> Exhibit {
     for &chunks in &[1usize, 2, 4, 8, 16] {
         // Measure one real step with the kernel dispatcher forced to
         // `chunks` tasks per kernel by running the kernels directly.
-        let driver = Driver::new(cfg);
+        let driver = Driver::new(cfg.clone());
         let rt = Runtime::new(4);
         rt.reset_stats();
         let tree = driver.tree();

@@ -57,7 +57,7 @@ pub fn run_fig8_and_fig9(quick: bool) -> (Exhibit, Exhibit) {
         threads_per_node: 4,
         backend: NetBackend::Tcp,
         coalesce: CoalesceConfig::default(),
-        octo: cfg,
+        octo: cfg.clone(),
     });
     let m2 = DistRun::execute(DistConfig {
         nodes: 2,

@@ -331,7 +331,9 @@ impl Cluster {
         assert!(config.localities >= 1, "need at least one locality");
         assert!(config.threads_per_locality >= 1, "need at least one thread");
         let runtimes: Vec<Runtime> = (0..config.localities)
-            .map(|_| Runtime::new(config.threads_per_locality))
+            // Label each locality's workers with its id: a merged trace
+            // shows one Chrome process lane per locality.
+            .map(|i| Runtime::new_labeled(config.threads_per_locality, i))
             .collect();
         let switchboard: Switchboard = Arc::new(Mutex::new(Vec::new()));
         let deliver: Deliver = {
@@ -371,7 +373,13 @@ impl Cluster {
             let handle = inner.runtimes[i as usize].handle();
             let join = std::thread::Builder::new()
                 .name(format!("parcel-rx-{i}"))
-                .spawn(move || rx_loop(rx, weak_cluster, weak_loc, handle))
+                .spawn(move || {
+                    apex_lite::trace::set_thread_label(
+                        i,
+                        apex_lite::trace::ThreadLabel::Named("parcel-rx"),
+                    );
+                    rx_loop(rx, weak_cluster, weak_loc, handle)
+                })
                 .expect("failed to spawn parcel receive thread");
             inner.switchboard.lock().push(tx);
             inner.localities.lock().push(loc);
@@ -457,6 +465,38 @@ impl Cluster {
     pub fn reset_net_stats(&self) {
         self.inner.stats.reset();
         self.inner.coalescer.port().reset_stats();
+    }
+
+    /// Tell the comms stack which application step is running, so
+    /// queue-depth high-water marks are attributed to the step that caused
+    /// them ([`PortSnapshot::queue_depth_hwm_step`]).
+    pub fn note_step(&self, step: u64) {
+        self.inner.coalescer.port().note_step(step);
+    }
+
+    /// Register this cluster's counters with an apex-lite registry:
+    /// per-locality scheduler counters under `/runtime/locality{i}/...`
+    /// and comms counters under `/comms/...`. The comms provider holds a
+    /// weak reference, so a registry never keeps the cluster alive.
+    pub fn register_counters(&self, registry: &mut apex_lite::CounterRegistry) {
+        for (i, rt) in self.inner.runtimes.iter().enumerate() {
+            rt.handle()
+                .register_counters(registry, &format!("/runtime/locality{i}"));
+        }
+        let weak = Arc::downgrade(&self.inner);
+        registry.register("/comms", move |c| {
+            let Some(inner) = weak.upgrade() else { return };
+            let port = inner.coalescer.port().stats();
+            c.count("messages", port.messages);
+            c.count("bytes", port.bytes);
+            c.count("parcels", port.parcels);
+            c.count("batches", port.batches);
+            c.count("queue_depth_hwm", port.queue_depth_hwm);
+            c.count("queue_depth_hwm_step", port.queue_depth_hwm_step);
+            let actions = inner.stats.snapshot();
+            c.count("remote_actions", actions.remote_actions);
+            c.count("local_actions", actions.local_actions);
+        });
     }
 
     /// Aggregate scheduler statistics across all localities.

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use apex_lite::trace::{self, Cat};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
@@ -191,6 +192,7 @@ impl Coalescer {
     /// Flush every destination queue and drive the port to quiescence.
     /// After this returns, every submitted parcel has been delivered.
     pub fn flush(&self) {
+        let _span = trace::span(Cat::Comm, "flush");
         self.shared.flush_all();
         self.shared.port.flush();
     }

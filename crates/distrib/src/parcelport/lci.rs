@@ -17,6 +17,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use apex_lite::trace::{self, Cat};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 use rv_machine::NetBackend;
@@ -69,6 +70,7 @@ impl LciShared {
             }
         }
         if delivered > 0 {
+            trace::instant(Cat::Comm, "progress");
             // Wake flushers waiting for the outbox to empty.
             self.activity.notify_all();
         }
@@ -142,6 +144,7 @@ impl Parcelport for LciParcelport {
     }
 
     fn transmit(&self, to: LocalityId, frame: Bytes) {
+        trace::instant(Cat::Comm, "transmit");
         let depth = {
             let mut outbox = self.shared.outbox.lock();
             outbox.push_back((to, frame));
@@ -181,6 +184,10 @@ impl Parcelport for LciParcelport {
 
     fn observe_queue_depth(&self, depth: u64) {
         self.shared.stats.observe_queue_depth(depth);
+    }
+
+    fn note_step(&self, step: u64) {
+        self.shared.stats.note_step(step);
     }
 }
 

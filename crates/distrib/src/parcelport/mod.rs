@@ -76,6 +76,11 @@ pub trait Parcelport: Send + Sync {
     /// peaks here so one snapshot covers the whole send path).
     fn observe_queue_depth(&self, depth: u64);
 
+    /// Tell the port which application step is running, so queue-depth
+    /// high-water marks can be attributed to the step that caused them
+    /// (see [`PortSnapshot::queue_depth_hwm_step`]).
+    fn note_step(&self, step: u64);
+
     /// Modelled link parameters charged per frame by the projection.
     fn cost(&self) -> NetCost {
         self.backend().net_cost()

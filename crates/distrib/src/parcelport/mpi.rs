@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use apex_lite::trace::{self, Cat};
 use bytes::Bytes;
 use rv_machine::NetBackend;
 
@@ -48,6 +49,7 @@ impl Parcelport for MpiParcelport {
     }
 
     fn transmit(&self, to: LocalityId, frame: Bytes) {
+        let _span = trace::span(Cat::Comm, "transmit");
         self.stats.record_frame(
             frame.len() as u64,
             crate::frame::decode_parcel_count(&frame),
@@ -75,5 +77,9 @@ impl Parcelport for MpiParcelport {
 
     fn observe_queue_depth(&self, depth: u64) {
         self.stats.observe_queue_depth(depth);
+    }
+
+    fn note_step(&self, step: u64) {
+        self.stats.note_step(step);
     }
 }

@@ -2,6 +2,7 @@
 //! socket on the sending thread (HPX's classic TCP parcelport behaviour:
 //! `asio` write on submission, no separate progress engine).
 
+use apex_lite::trace::{self, Cat};
 use bytes::Bytes;
 use rv_machine::NetBackend;
 
@@ -40,6 +41,7 @@ impl Parcelport for TcpParcelport {
     }
 
     fn transmit(&self, to: LocalityId, frame: Bytes) {
+        let _span = trace::span(Cat::Comm, "transmit");
         self.stats.record_frame(
             frame.len() as u64,
             crate::frame::decode_parcel_count(&frame),
@@ -65,5 +67,9 @@ impl Parcelport for TcpParcelport {
 
     fn observe_queue_depth(&self, depth: u64) {
         self.stats.observe_queue_depth(depth);
+    }
+
+    fn note_step(&self, step: u64) {
+        self.stats.note_step(step);
     }
 }

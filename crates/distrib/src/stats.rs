@@ -104,6 +104,11 @@ pub struct PortStats {
     parcels: AtomicU64,
     batches: AtomicU64,
     queue_depth_hwm: AtomicU64,
+    /// Step index at which `queue_depth_hwm` was last raised — lines a
+    /// comms spike up with the trace spans of the step that caused it.
+    queue_depth_hwm_step: AtomicU64,
+    /// Current application step, advanced by [`PortStats::note_step`].
+    current_step: AtomicU64,
 }
 
 /// Immutable snapshot of [`PortStats`].
@@ -120,6 +125,9 @@ pub struct PortSnapshot {
     /// High-water mark of queued-but-unsent parcels/frames (coalescer
     /// pending + explicit-progress outbox).
     pub queue_depth_hwm: u64,
+    /// Step index during which the high-water mark was reached (0 when it
+    /// was reached before the first [`PortStats::note_step`] call).
+    pub queue_depth_hwm_step: u64,
 }
 
 impl PortStats {
@@ -138,9 +146,22 @@ impl PortStats {
         }
     }
 
-    /// Raise the queue-depth high-water mark to at least `depth`.
+    /// Raise the queue-depth high-water mark to at least `depth`,
+    /// remembering the current step when it actually rises.
     pub fn observe_queue_depth(&self, depth: u64) {
-        self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+        let prev = self.queue_depth_hwm.fetch_max(depth, Ordering::Relaxed);
+        if depth > prev {
+            // Benign race: concurrent raisers may both store; either step
+            // index is one during which the mark was at its maximum.
+            self.queue_depth_hwm_step
+                .store(self.current_step.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// Tell the port which application step is running, so queue-depth
+    /// spikes can be attributed to it.
+    pub fn note_step(&self, step: u64) {
+        self.current_step.store(step, Ordering::Relaxed);
     }
 
     /// Snapshot all counters.
@@ -151,16 +172,19 @@ impl PortStats {
             parcels: self.parcels.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_depth_hwm.load(Ordering::Relaxed),
+            queue_depth_hwm_step: self.queue_depth_hwm_step.load(Ordering::Relaxed),
         }
     }
 
-    /// Zero all counters (high-water mark included).
+    /// Zero all counters (high-water mark included; the step clock is
+    /// left running).
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
         self.parcels.store(0, Ordering::Relaxed);
         self.batches.store(0, Ordering::Relaxed);
         self.queue_depth_hwm.store(0, Ordering::Relaxed);
+        self.queue_depth_hwm_step.store(0, Ordering::Relaxed);
     }
 }
 
@@ -183,6 +207,24 @@ mod tests {
         assert_eq!(snap.queue_depth_hwm, 3, "hwm keeps the maximum");
         s.reset();
         assert_eq!(s.snapshot(), PortSnapshot::default());
+    }
+
+    #[test]
+    fn queue_depth_hwm_remembers_the_step_that_set_it() {
+        let s = PortStats::new();
+        s.observe_queue_depth(2);
+        s.note_step(4);
+        s.observe_queue_depth(7);
+        s.note_step(5);
+        s.observe_queue_depth(7); // does not raise: step stays 4
+        s.observe_queue_depth(3);
+        let snap = s.snapshot();
+        assert_eq!(snap.queue_depth_hwm, 7);
+        assert_eq!(snap.queue_depth_hwm_step, 4);
+        // A higher observation in a later step moves the attribution.
+        s.note_step(9);
+        s.observe_queue_depth(8);
+        assert_eq!(s.snapshot().queue_depth_hwm_step, 9);
     }
 
     #[test]

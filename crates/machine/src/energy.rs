@@ -161,6 +161,38 @@ impl EnergyReport {
     }
 }
 
+/// Short lower-case architecture tag used in counter paths
+/// (`/energy/{tag}/joules`).
+pub fn arch_counter_tag(arch: CpuArch) -> &'static str {
+    match arch {
+        CpuArch::A64fx => "a64fx",
+        CpuArch::Epyc7543 => "epyc7543",
+        CpuArch::XeonGold6140 => "xeon6140",
+        CpuArch::RiscvU74 => "u74",
+        CpuArch::Jh7110 => "jh7110",
+    }
+}
+
+/// Emit the `/energy/{arch}/…` gauge counters for a run of `seconds` on
+/// `nodes` × `cores_per_node` busy cores into an apex-lite snapshot — the
+/// bridge between the §7 power model and the unified counter namespace.
+pub fn energy_counters_into(
+    snap: &mut apex_lite::CounterSnapshot,
+    arch: CpuArch,
+    nodes: u32,
+    cores_per_node: u32,
+    seconds: f64,
+) {
+    let report = EnergyReport::for_run(arch, nodes, cores_per_node, seconds);
+    let tag = arch_counter_tag(arch);
+    snap.set_gauge(
+        format!("/energy/{tag}/watts_per_node"),
+        report.watts_per_node,
+    );
+    snap.set_gauge(format!("/energy/{tag}/joules"), report.joules);
+    snap.set_gauge(format!("/energy/{tag}/seconds"), seconds);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +251,21 @@ mod tests {
         let two = EnergyReport::for_run(CpuArch::Jh7110, 2, 4, 100.0);
         assert!((two.joules - 2.0 * one.joules).abs() < 1e-9);
         assert_eq!(one.watts_per_node, two.watts_per_node);
+    }
+
+    #[test]
+    fn energy_counters_land_in_the_namespace() {
+        let mut snap = apex_lite::CounterSnapshot::new();
+        energy_counters_into(&mut snap, CpuArch::Jh7110, 2, 4, 100.0);
+        let report = EnergyReport::for_run(CpuArch::Jh7110, 2, 4, 100.0);
+        match snap.get("/energy/jh7110/joules") {
+            Some(apex_lite::CounterValue::Gauge(j)) => {
+                assert!((j - report.joules).abs() < 1e-9)
+            }
+            other => panic!("missing joules gauge: {other:?}"),
+        }
+        assert!(snap.get("/energy/jh7110/watts_per_node").is_some());
+        assert!(snap.get("/energy/jh7110/seconds").is_some());
     }
 
     #[test]

@@ -14,7 +14,11 @@ use rv_machine::NetBackend;
 use crate::kernel_backend::{KernelType, SimdPolicy};
 
 /// Full configuration of a rotating-star run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Not `Copy`: the observability flags carry an owned path
+/// ([`OctoConfig::trace_out`]); clone explicitly where a copy used to be
+/// implicit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OctoConfig {
     /// Maximum octree refinement level (`--max_level`, 4 in the paper).
     pub max_level: u32,
@@ -50,6 +54,13 @@ pub struct OctoConfig {
     /// topology changes (`--interaction_list_cache`). Off = the cache-off
     /// ablation: rebuild the dual traversal every step, as the seed did.
     pub use_interaction_cache: bool,
+    /// Write a Chrome trace-event JSON of the run to this path
+    /// (`--trace-out=trace.json`, loadable in `about://tracing`/Perfetto).
+    /// `None` (the default) leaves tracing disabled — zero-cost.
+    pub trace_out: Option<String>,
+    /// Print the per-step counter-delta table after the run
+    /// (`--counter-table=on`).
+    pub counter_table: bool,
 }
 
 impl Default for OctoConfig {
@@ -69,6 +80,8 @@ impl Default for OctoConfig {
             refine_density_frac: 1.0e-4,
             simd_width: 4,
             use_interaction_cache: true,
+            trace_out: None,
+            counter_table: false,
         }
     }
 }
@@ -134,6 +147,23 @@ impl OctoConfig {
                         other => {
                             return Err(format!(
                                 "invalid value {other:?} for --interaction_list_cache (on/off)"
+                            ))
+                        }
+                    }
+                }
+                "trace-out" | "trace_out" => {
+                    if value.is_empty() {
+                        return Err("--trace-out needs a file path".into());
+                    }
+                    cfg.trace_out = Some(value.to_string());
+                }
+                "counter-table" | "counter_table" => {
+                    cfg.counter_table = match value {
+                        "on" | "1" | "true" => true,
+                        "off" | "0" | "false" => false,
+                        other => {
+                            return Err(format!(
+                                "invalid value {other:?} for --counter-table (on/off)"
                             ))
                         }
                     }
@@ -278,6 +308,21 @@ mod tests {
     fn unknown_keys_ignored() {
         let c = OctoConfig::from_args(["--hpx:agas=10.0.0.160:7910", "--hpx:worker"]).unwrap();
         assert_eq!(c, OctoConfig::default());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let c = OctoConfig::from_args(["--trace-out=trace.json", "--counter-table=on"]).unwrap();
+        assert_eq!(c.trace_out.as_deref(), Some("trace.json"));
+        assert!(c.counter_table);
+        // Underscore aliases work; defaults are off.
+        let d = OctoConfig::from_args(["--trace_out=t.json", "--counter_table=off"]).unwrap();
+        assert_eq!(d.trace_out.as_deref(), Some("t.json"));
+        assert!(!d.counter_table);
+        assert_eq!(OctoConfig::default().trace_out, None);
+        assert!(!OctoConfig::default().counter_table);
+        assert!(OctoConfig::from_args(["--trace-out="]).is_err());
+        assert!(OctoConfig::from_args(["--counter-table=maybe"]).is_err());
     }
 
     #[test]

@@ -20,6 +20,8 @@
 use serde::{Deserialize, Serialize};
 
 use amt::par::scope;
+use apex_lite::trace::{self, Cat};
+use apex_lite::{CounterRegistry, CounterSnapshot};
 use distrib::{
     Cluster, ClusterConfig, CoalesceConfig, Gid, LocalityHandle, NetSnapshot, PortSnapshot,
 };
@@ -39,8 +41,9 @@ use crate::subgrid::Face;
 /// Ghost data gathered for one leaf: one boundary slab per face.
 type FaceSlabs = Vec<(Face, Vec<f64>)>;
 
-/// Configuration of a distributed run.
-#[derive(Debug, Clone, Copy)]
+/// Configuration of a distributed run. (`Clone` but not `Copy`: the
+/// embedded [`OctoConfig`] carries the heap-allocated trace-output path.)
+#[derive(Debug, Clone)]
 pub struct DistConfig {
     /// Localities (boards): 1 or 2 in the paper.
     pub nodes: u32,
@@ -107,6 +110,9 @@ pub struct DistMetrics {
     pub runtime_stats: amt::RuntimeStats,
     /// Leaves owned per locality (load balance diagnostic).
     pub owned_per_node: Vec<usize>,
+    /// Unified counter dump (`/runtime/locality{N}/…`, `/comms/…`,
+    /// `/gravity/…`, `/work/…`, `/energy/…`) sampled at the end of the run.
+    pub counters: CounterSnapshot,
 }
 
 /// Per-locality domain component.
@@ -552,7 +558,7 @@ impl DistRun {
         let mut owned_per_node = Vec::new();
         let mut leaf_count = 0;
         for node in 0..config.nodes {
-            let domain = build_domain(config.octo, node, config.nodes);
+            let domain = build_domain(config.octo.clone(), node, config.nodes);
             leaf_count = domain.tree.leaf_count();
             owned_per_node.push(domain.owned.iter().filter(|&&o| o).count());
             let loc = cluster.locality(node);
@@ -570,9 +576,22 @@ impl DistRun {
             }
         };
 
+        let tracing = config.octo.trace_out.is_some();
+        if tracing {
+            trace::reset();
+            trace::set_enabled(true);
+        }
+        let mut registry = CounterRegistry::new();
+        cluster.register_counters(&mut registry);
+        let mut prev = registry.sample();
+        let mut step_deltas: Vec<CounterSnapshot> = Vec::new();
+
         let start = std::time::Instant::now();
         let steps = config.octo.stop_step;
-        for _ in 0..steps {
+        for step in 0..steps {
+            // Stamp the step index so queue-depth high-water marks can be
+            // attributed to the step that produced them.
+            cluster.note_step(u64::from(step));
             // Phase barriers driven from the supervisor, mirroring the
             // paper's supervisor/delegate roles.
             let barrier_u64 = |action: &str, with_peer: bool| {
@@ -589,34 +608,57 @@ impl DistRun {
                     .collect();
                 amt::when_all(futs).get();
             };
-            barrier_u64("prepare_halo", false);
-            barrier_u64("pull_halo", true);
-            let rates: Vec<f64> = amt::when_all(
-                gids.iter()
-                    .map(|&g| supervisor.invoke(g, "local_max_rate", &()))
-                    .collect(),
-            )
-            .get();
-            let dt = config.octo.cfl / rates.iter().copied().fold(1e-30_f64, f64::max);
-            barrier_u64("prepare_blocks", false);
-            let _reports: Vec<StepReport> = amt::when_all(
-                gids.iter()
-                    .enumerate()
-                    .map(|(i, &g)| supervisor.invoke(g, "solve_step", &(dt, peer_of(i))))
-                    .collect(),
-            )
-            .get();
+            {
+                let _span = trace::span(Cat::Phase, "halo_exchange");
+                barrier_u64("prepare_halo", false);
+                barrier_u64("pull_halo", true);
+            }
+            let dt = {
+                let _span = trace::span(Cat::Phase, "cfl_reduction");
+                let rates: Vec<f64> = amt::when_all(
+                    gids.iter()
+                        .map(|&g| supervisor.invoke(g, "local_max_rate", &()))
+                        .collect(),
+                )
+                .get();
+                config.octo.cfl / rates.iter().copied().fold(1e-30_f64, f64::max)
+            };
+            {
+                // P2M + block exchange: the distributed gravity front half.
+                let _span = trace::span(Cat::Phase, "gravity_solve");
+                barrier_u64("prepare_blocks", false);
+            }
+            {
+                // FMM + hydro + apply, fused per locality in `solve_step`.
+                let _span = trace::span(Cat::Phase, "hydro_step");
+                let _reports: Vec<StepReport> = amt::when_all(
+                    gids.iter()
+                        .enumerate()
+                        .map(|(i, &g)| supervisor.invoke(g, "solve_step", &(dt, peer_of(i))))
+                        .collect(),
+                )
+                .get();
+            }
+            if config.octo.counter_table {
+                let cur = registry.sample();
+                step_deltas.push(cur.delta(&prev));
+                prev = cur;
+            }
         }
         let elapsed = start.elapsed().as_secs_f64();
         // Close any open coalescer batches so the port counters are final.
-        cluster.flush_network();
+        {
+            let _span = trace::span(Cat::Phase, "comm_flush");
+            cluster.flush_network();
+        }
 
         // Aggregate work counters.
         let mut work = WorkEstimate::default();
+        let mut counters = registry.sample();
         for (i, &g) in gids.iter().enumerate() {
             let loc = cluster.locality(i as u32);
-            let w = loc
-                .with_component::<Domain, _>(g, |d| d.work)
+            let (w, cache) = loc
+                .with_component::<Domain, _>(g, |d| (d.work, d.interaction_cache.stats()))
                 .expect("domain component");
             work.hydro_flops += w.hydro_flops;
             work.gravity_flops += w.gravity_flops;
@@ -626,6 +668,40 @@ impl DistRun {
             work.ghost_samples += w.ghost_samples;
             work.ghost_slab_bytes += w.ghost_slab_bytes;
             work.mac_evals += w.mac_evals;
+            counters.set_count(format!("/gravity/locality{i}/cache_hits"), cache.hits);
+            counters.set_count(format!("/gravity/locality{i}/cache_misses"), cache.misses);
+        }
+        counters.set_count("/gravity/far_interactions", work.far_interactions);
+        counters.set_count("/gravity/near_interactions", work.near_interactions);
+        counters.set_count("/gravity/mac_evals", work.mac_evals);
+        counters.set_count("/work/hydro_flops", work.hydro_flops);
+        counters.set_count("/work/gravity_flops", work.gravity_flops);
+        counters.set_count("/work/bytes", work.bytes);
+        counters.set_count("/work/ghost_samples", work.ghost_samples);
+        counters.set_count("/work/ghost_slab_bytes", work.ghost_slab_bytes);
+        rv_machine::energy_counters_into(
+            &mut counters,
+            rv_machine::CpuArch::Jh7110,
+            config.nodes,
+            config.threads_per_node as u32,
+            elapsed,
+        );
+        if config.octo.counter_table {
+            print!(
+                "{}",
+                apex_lite::render_step_table("distributed per-step counters", &step_deltas)
+            );
+            print!(
+                "{}",
+                apex_lite::render_table("distributed run totals", &counters)
+            );
+        }
+        if let Some(path) = &config.octo.trace_out {
+            trace::set_enabled(false);
+            let t = trace::drain();
+            if let Err(e) = std::fs::write(path, apex_lite::export(&t)) {
+                eprintln!("warning: failed to write trace to {path}: {e}");
+            }
         }
 
         let cells_processed = cell_count as u64 * u64::from(steps);
@@ -642,6 +718,7 @@ impl DistRun {
             work,
             runtime_stats: cluster.runtime_stats(),
             owned_per_node,
+            counters,
         }
     }
 }

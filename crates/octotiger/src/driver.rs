@@ -14,6 +14,8 @@ use std::time::Instant;
 
 use amt::par::scope;
 use amt::{Handle, Runtime};
+use apex_lite::trace::{self, Cat};
+use apex_lite::{CounterRegistry, CounterSnapshot};
 
 use crate::config::OctoConfig;
 use crate::gravity::{
@@ -84,6 +86,9 @@ pub struct RunMetrics {
     pub cache: CacheStats,
     /// Final simulation time.
     pub sim_time: f64,
+    /// Unified counter dump (`/runtime/…`, `/gravity/…`, `/work/…`,
+    /// `/energy/…`) sampled at the end of the run.
+    pub counters: CounterSnapshot,
 }
 
 /// The node-level simulation driver.
@@ -165,6 +170,7 @@ impl Driver {
         let monopole_dispatch = Dispatch::new(self.config.monopole_kernel, &handle, 4);
 
         // 1. Ghost exchange: parallel gather, serial scatter.
+        let ghost_span = trace::span(Cat::Phase, "ghost_exchange");
         let leaves: Vec<NodeId> = self.tree.leaf_ids().to_vec();
         let ghost_data = {
             let tree = &self.tree;
@@ -180,8 +186,10 @@ impl Driver {
                 self.tree.apply_ghost(leaf, face, &data);
             }
         }
+        drop(ghost_span);
 
         // 2. CFL time step (global max-signal-speed reduction).
+        let cfl_span = trace::span(Cat::Phase, "cfl_reduction");
         let speeds = {
             let tree = &self.tree;
             let d = &hydro_dispatch;
@@ -192,10 +200,12 @@ impl Driver {
         };
         let max_rate = speeds.iter().copied().fold(1e-30_f64, f64::max);
         let dt = self.config.cfl / max_rate;
+        drop(cfl_span);
 
         // 3. Gravity: P2M (parallel) → M2M (serial, recycled workspace) →
         //    interaction lists (cached across steps) → FMM kernels
         //    (parallel, pooled scratch).
+        let gravity_span = trace::span(Cat::Phase, "gravity_solve");
         let blocks: Vec<BlockSoA> = {
             let tree = &self.tree;
             par_map_leaves(&handle, tree, |leaf| {
@@ -240,9 +250,11 @@ impl Driver {
                 (acc, far.len() as u64, near.len() as u64)
             })
         };
+        drop(gravity_span);
 
         // 4. Hydro kernels (parallel, pure), scratch buffers recycled via
         //    the cppuddle-style pool.
+        let hydro_span = trace::span(Cat::Phase, "hydro_step");
         let new_states = {
             let tree = &self.tree;
             let d = &hydro_dispatch;
@@ -263,6 +275,7 @@ impl Driver {
             far_total += far;
             near_total += near;
         }
+        drop(hydro_span);
 
         // Ghost-path accounting (for the machine projection).
         // Values per face slab: NF × NG × NX².
@@ -317,15 +330,60 @@ impl Driver {
     }
 
     /// Run `stop_step` steps on an existing runtime.
+    ///
+    /// Honours the observability flags: `--trace-out=FILE` records a
+    /// Chrome trace of the run (scheduler tasks, driver phases, gravity
+    /// kernels) and `--counter-table` prints per-step counter deltas.
     pub fn run_on(&mut self, runtime: &Runtime) -> RunMetrics {
+        let tracing = self.config.trace_out.is_some();
+        if tracing {
+            trace::reset();
+            trace::set_enabled(true);
+        }
+        let mut registry = CounterRegistry::new();
+        runtime
+            .handle()
+            .register_counters(&mut registry, "/runtime");
         runtime.reset_stats();
         let start = Instant::now();
         let mut steps = 0;
+        let mut prev = self.sample_counters(&registry);
+        let mut step_deltas: Vec<CounterSnapshot> = Vec::new();
         for _ in 0..self.config.stop_step {
             self.step(runtime);
             steps += 1;
+            if self.config.counter_table {
+                let cur = self.sample_counters(&registry);
+                step_deltas.push(cur.delta(&prev));
+                prev = cur;
+            }
         }
         let elapsed = start.elapsed().as_secs_f64();
+        let mut counters = self.sample_counters(&registry);
+        rv_machine::energy_counters_into(
+            &mut counters,
+            rv_machine::CpuArch::Jh7110,
+            1,
+            runtime.worker_stats().len() as u32,
+            elapsed,
+        );
+        if self.config.counter_table {
+            print!(
+                "{}",
+                apex_lite::render_step_table("octotiger per-step counters", &step_deltas)
+            );
+            print!(
+                "{}",
+                apex_lite::render_table("octotiger run totals", &counters)
+            );
+        }
+        if let Some(path) = self.config.trace_out.clone() {
+            trace::set_enabled(false);
+            let t = trace::drain();
+            if let Err(e) = std::fs::write(&path, apex_lite::export(&t)) {
+                eprintln!("warning: failed to write trace to {path}: {e}");
+            }
+        }
         let cell_count = self.tree.cell_count();
         let cells_processed = cell_count as u64 * u64::from(steps);
         RunMetrics {
@@ -339,7 +397,32 @@ impl Driver {
             work: self.work,
             cache: self.interaction_cache.stats(),
             sim_time: self.sim_time,
+            counters,
         }
+    }
+
+    /// Sample the registry and fold in the driver-owned counters.
+    fn sample_counters(&self, registry: &CounterRegistry) -> CounterSnapshot {
+        let mut snap = registry.sample();
+        self.counters_into(&mut snap);
+        snap
+    }
+
+    /// Write the driver's `/gravity/…` and `/work/…` counters into `snap`.
+    /// These live on `&self` (not behind a registry provider) because the
+    /// driver is single-owner mutable state.
+    pub fn counters_into(&self, snap: &mut CounterSnapshot) {
+        let cs = self.interaction_cache.stats();
+        snap.set_count("/gravity/cache_hits", cs.hits);
+        snap.set_count("/gravity/cache_misses", cs.misses);
+        snap.set_count("/gravity/far_interactions", self.work.far_interactions);
+        snap.set_count("/gravity/near_interactions", self.work.near_interactions);
+        snap.set_count("/gravity/mac_evals", self.work.mac_evals);
+        snap.set_count("/work/hydro_flops", self.work.hydro_flops);
+        snap.set_count("/work/gravity_flops", self.work.gravity_flops);
+        snap.set_count("/work/bytes", self.work.bytes);
+        snap.set_count("/work/ghost_samples", self.work.ghost_samples);
+        snap.set_count("/work/ghost_slab_bytes", self.work.ghost_slab_bytes);
     }
 
     /// Work counters accumulated so far.
@@ -356,6 +439,7 @@ impl Driver {
     /// generation, which invalidates the interaction-list cache and the
     /// gravity workspace's cached traversal order on the next step.
     pub fn refine_leaf(&mut self, leaf: NodeId) -> [NodeId; 8] {
+        let _span = trace::span(Cat::Phase, "regrid");
         self.tree.refine_leaf(leaf)
     }
 
@@ -488,7 +572,7 @@ mod tests {
         let cfg_on = tiny_config(KernelType::KokkosSerial);
         let cfg_off = OctoConfig {
             use_interaction_cache: false,
-            ..cfg_on
+            ..cfg_on.clone()
         };
         let mut d_on = Driver::new(cfg_on);
         let mut d_off = Driver::new(cfg_off);

@@ -31,7 +31,7 @@ fn main() {
         stop_step: 3,
         ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
     };
-    let mut driver = Driver::with_model(&binary, cfg);
+    let mut driver = Driver::with_model(&binary, cfg.clone());
     println!(
         "tree: {} leaves / {} cells at max level {}",
         driver.tree().leaf_count(),

@@ -3,30 +3,28 @@
 //!
 //! ```bash
 //! cargo run --release --example distributed_cluster \
-//!     [-- <max_level>] [--hpx:parcelport=<tcp|mpi|lci>]
+//!     [-- <max_level>] [--hpx:parcelport=<tcp|mpi|lci>] \
+//!     [--trace-out=trace.json] [--counter-table=on]
 //! ```
 
 use octotiger_riscv_repro::machine::{CpuArch, NetBackend};
 use octotiger_riscv_repro::octo_core::project::{dist_cells_per_sec, DistProfile, OctoProfile};
 use octotiger_riscv_repro::octotiger::dist_driver::{DistConfig, DistRun};
-use octotiger_riscv_repro::octotiger::{KernelType, OctoConfig};
+use octotiger_riscv_repro::octotiger::OctoConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let level: u32 = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2);
-    let mut octo = OctoConfig {
-        max_level: level,
-        stop_step: 3,
-        ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
-    };
-    // `--hpx:parcelport=…` selects which port carries the measured run, as
-    // on a real HPX command line (the projections always cover all three).
-    if let Some(v) = args
-        .iter()
-        .find_map(|a| a.strip_prefix("--hpx:parcelport="))
-    {
-        octo.parcelport = NetBackend::parse(v).unwrap_or_else(|e| panic!("bad arguments: {e}"));
+    // The full Listing-3 flag surface (`--hpx:parcelport`, `--trace-out`,
+    // `--counter-table`, ...) plus the legacy positional max_level.
+    let mut octo = OctoConfig::from_args(args.iter().map(String::as_str))
+        .unwrap_or_else(|e| panic!("bad arguments: {e}"));
+    if !args.iter().any(|a| a.starts_with("--max_level")) {
+        octo.max_level = args.iter().find_map(|a| a.parse().ok()).unwrap_or(2);
     }
+    if !args.iter().any(|a| a.starts_with("--stop_step")) {
+        octo.stop_step = 3;
+    }
+    let level = octo.max_level;
 
     println!(
         "== supervisor + delegate, rotating star level {level}, {:?} parcelport ==",
@@ -34,7 +32,7 @@ fn main() {
     );
     let mut profiles = Vec::new();
     for nodes in [1u32, 2] {
-        let metrics = DistRun::execute(DistConfig::from_octo(nodes, octo));
+        let metrics = DistRun::execute(DistConfig::from_octo(nodes, octo.clone()));
         println!(
             "{nodes} node(s): {} leaves, owned {:?}, host {:.2}s, wire: {} msgs / {:.2} MiB",
             metrics.leaf_count,
@@ -66,6 +64,10 @@ fn main() {
                 bytes: metrics.net.bytes,
             },
         ));
+    }
+
+    if let Some(path) = &octo.trace_out {
+        println!("\nChrome trace written to {path} (load it at https://ui.perfetto.dev)");
     }
 
     let (total, p1) = &profiles[0];

@@ -30,7 +30,7 @@ fn main() {
         cfg.threads
     );
 
-    let mut driver = Driver::new(cfg);
+    let mut driver = Driver::new(cfg.clone());
     let mass_before = driver.tree().total_mass();
     println!(
         "tree: {} leaves, {} cells (paper level 4: 1184 leaves / 606208 cells)",
@@ -40,6 +40,9 @@ fn main() {
 
     let metrics = driver.run(cfg.threads);
     let mass_after = driver.tree().total_mass();
+    if let Some(path) = &cfg.trace_out {
+        println!("Chrome trace written to {path} (load it at https://ui.perfetto.dev)");
+    }
 
     println!(
         "host: {:.2}s for {} steps → {:.0} cells/s; sim time {:.4}",

@@ -16,6 +16,9 @@ fi
 echo "== gravity SIMD + interaction-cache bench (writes BENCH_gravity.json) =="
 BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_gravity
 
+echo "== tracer overhead bench (writes BENCH_trace_overhead.json) =="
+BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_trace
+
 if [[ "$SMOKE" == "0" ]]; then
   echo "== octotiger kernel bench (stdout reference numbers) =="
   cargo bench -q -p repro-bench --bench bench_octotiger
@@ -23,4 +26,7 @@ if [[ "$SMOKE" == "0" ]]; then
   echo
   echo "BENCH_gravity.json updated:"
   cat BENCH_gravity.json
+  echo
+  echo "BENCH_trace_overhead.json updated:"
+  cat BENCH_trace_overhead.json
 fi

@@ -17,6 +17,17 @@ cargo test -q --test simd_gravity_prop
 echo "== gravity bench smoke (one short iteration, no timing assertions) =="
 BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_gravity
 
+echo "== tracer overhead bench smoke =="
+BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_trace
+
+echo "== trace smoke run + checker =="
+TRACE_OUT=$(mktemp -t apexlite_ci_XXXXXX.json)
+cargo run --release --example distributed_cluster -- \
+  --max_level=1 --stop_step=2 --hpx:threads=2 --trace-out="$TRACE_OUT" >/dev/null
+cargo run --release -p apex-lite --bin trace_check -- \
+  --require task,phase,comm --min-spans 10 "$TRACE_OUT"
+rm -f "$TRACE_OUT"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

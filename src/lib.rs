@@ -8,6 +8,7 @@
 //! for the paper-vs-measured record.
 
 pub use amt;
+pub use apex_lite;
 pub use distrib;
 pub use kokkos_lite;
 pub use octo_core;
