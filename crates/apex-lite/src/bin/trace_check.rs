@@ -3,25 +3,48 @@
 //! Usage:
 //!
 //! ```text
-//! trace_check [--require CAT[,CAT...]] [--min-spans N] FILE...
+//! trace_check [--require CAT[,CAT...]] [--require-overlap A,B] [--min-spans N] FILE...
 //! ```
 //!
 //! Each FILE is parsed and validated (well-formed JSON, required fields,
 //! per-thread completion-order monotonicity, strict span nesting). With
 //! `--require`, every listed category must appear in every file — the CI
 //! smoke run uses `--require task,phase,comm` to prove the trace spans all
-//! three instrumented layers. Exits non-zero on any failure.
+//! three instrumented layers. With `--require-overlap A,B`, spans named `A`
+//! and `B` must have been simultaneously open (on any two threads) for a
+//! positive wall-clock duration — the CI proof that a futurized run really
+//! interleaved gravity and hydro instead of running them phase-by-phase.
+//! Exits non-zero on any failure.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut require: Vec<String> = Vec::new();
+    let mut require_overlap: Vec<(String, String)> = Vec::new();
     let mut min_spans: u64 = 1;
     let mut files: Vec<String> = Vec::new();
 
+    let parse_overlap = |v: &str| -> Option<(String, String)> {
+        let (a, b) = v.split_once(',')?;
+        if a.is_empty() || b.is_empty() {
+            return None;
+        }
+        Some((a.to_string(), b.to_string()))
+    };
+
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if let Some(v) = arg.strip_prefix("--require=") {
+        if let Some(v) = arg.strip_prefix("--require-overlap=") {
+            match parse_overlap(v) {
+                Some(p) => require_overlap.push(p),
+                None => return usage("--require-overlap needs NAME_A,NAME_B"),
+            }
+        } else if arg == "--require-overlap" {
+            match args.next().as_deref().and_then(parse_overlap) {
+                Some(p) => require_overlap.push(p),
+                None => return usage("--require-overlap needs NAME_A,NAME_B"),
+            }
+        } else if let Some(v) = arg.strip_prefix("--require=") {
             require.extend(v.split(',').map(str::to_string));
         } else if arg == "--require" {
             match args.next() {
@@ -74,6 +97,19 @@ fn main() -> ExitCode {
                         problems.push(format!("no events in required category {cat:?}"));
                     }
                 }
+                for (a, b) in &require_overlap {
+                    let ns = summary.overlap_ns(a, b);
+                    if ns == 0 {
+                        problems.push(format!(
+                            "spans {a:?} and {b:?} never overlapped in wall-clock time \
+                             ({} {a:?} spans, {} {b:?} spans)",
+                            summary.count_name(a),
+                            summary.count_name(b)
+                        ));
+                    } else {
+                        println!("{file}: overlap {a:?}/{b:?} = {ns} ns");
+                    }
+                }
                 if problems.is_empty() {
                     let cats: Vec<String> = summary
                         .by_cat
@@ -110,7 +146,10 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("trace_check: {err}");
     }
-    eprintln!("usage: trace_check [--require CAT[,CAT...]] [--min-spans N] FILE...");
+    eprintln!(
+        "usage: trace_check [--require CAT[,CAT...]] [--require-overlap A,B] [--min-spans N] \
+         FILE..."
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -102,6 +102,11 @@ pub struct TraceSummary {
     pub by_cat: BTreeMap<String, u64>,
     /// Event counts per name.
     pub by_name: BTreeMap<String, u64>,
+    /// Per span name: `[start_ns, end_ns)` wall-clock intervals, across all
+    /// threads. Spans on *different* threads may overlap freely (only
+    /// same-thread partial overlap is a validation error), and that
+    /// cross-thread overlap is exactly what a futurized scheduler produces.
+    pub intervals_by_name: BTreeMap<String, Vec<(u64, u64)>>,
 }
 
 impl TraceSummary {
@@ -113,6 +118,39 @@ impl TraceSummary {
     /// Events named `name`.
     pub fn count_name(&self, name: &str) -> u64 {
         self.by_name.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total nanoseconds during which a span named `a` and a span named `b`
+    /// were simultaneously open (on any threads). Positive only when the
+    /// two kinds of work genuinely interleaved in wall-clock time — the
+    /// check `trace_check --require-overlap=A,B` runs on futurized traces.
+    pub fn overlap_ns(&self, a: &str, b: &str) -> u64 {
+        let (Some(xs), Some(ys)) = (self.intervals_by_name.get(a), self.intervals_by_name.get(b))
+        else {
+            return 0;
+        };
+        // Small lists (one span per leaf task); the quadratic sweep is fine
+        // and — unlike a merged-interval union — charges concurrent
+        // same-name pairs only once via per-name interval unions.
+        let union = |v: &[(u64, u64)]| {
+            let mut sorted = v.to_vec();
+            sorted.sort_unstable();
+            let mut merged: Vec<(u64, u64)> = Vec::new();
+            for (s, e) in sorted {
+                match merged.last_mut() {
+                    Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                    _ => merged.push((s, e)),
+                }
+            }
+            merged
+        };
+        let mut total = 0u64;
+        for &(s0, e0) in &union(xs) {
+            for &(s1, e1) in &union(ys) {
+                total += e0.min(e1).saturating_sub(s0.max(s1));
+            }
+        }
+        total
     }
 }
 
@@ -196,6 +234,11 @@ pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
                         .checked_add(dur)
                         .ok_or_else(|| format!("event {i}: ts+dur overflow"))?;
                     spans.entry(key).or_default().push(SpanRec { ts, end });
+                    summary
+                        .intervals_by_name
+                        .entry(name.to_string())
+                        .or_default()
+                        .push((ts, end));
                     summary.spans += 1;
                     end
                 } else {
@@ -311,6 +354,33 @@ mod tests {
         assert_eq!(s.count_cat("gravity"), 1);
         assert_eq!(s.count_cat("comm"), 1);
         assert_eq!(s.count_name("gravity_solve"), 1);
+    }
+
+    #[test]
+    fn cross_thread_overlap_is_measured_not_rejected() {
+        // gravity on worker0 [1000, 5000], hydro on worker1 [2000, 7000]:
+        // legal (different threads) and 3000 ns of genuine interleaving.
+        let trace = Trace {
+            threads: vec![
+                (
+                    meta(0, 0, "worker0"),
+                    vec![span_ev("gravity_solve", Cat::Phase, 1000, 4000)],
+                ),
+                (
+                    meta(0, 1, "worker1"),
+                    vec![
+                        span_ev("hydro_step", Cat::Phase, 2000, 5000),
+                        span_ev("hydro_step", Cat::Phase, 8000, 1000),
+                    ],
+                ),
+            ],
+            dropped: 0,
+        };
+        let s = validate(&export(&trace)).unwrap();
+        assert_eq!(s.overlap_ns("gravity_solve", "hydro_step"), 3000);
+        assert_eq!(s.overlap_ns("hydro_step", "gravity_solve"), 3000);
+        assert_eq!(s.overlap_ns("gravity_solve", "missing"), 0);
+        assert_eq!(s.intervals_by_name.get("hydro_step").map(Vec::len), Some(2));
     }
 
     #[test]

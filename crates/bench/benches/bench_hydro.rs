@@ -1,0 +1,201 @@
+//! Hydro SIMD + futurization bench — the BENCH_hydro.json datapoint.
+//!
+//! Two experiments:
+//!
+//! 1. Kernel sweep: one full hydro step (MUSCL reconstruction + HLL fluxes)
+//!    over every leaf of the rotating-star tree, scalar reference vs the
+//!    staged SoA SIMD path at every supported pack width. Legacy dispatch =
+//!    inline serial execution, isolating the kernels from scheduling noise.
+//! 2. Step pipeline: a short multi-worker driver run with the barriered
+//!    four-phase step vs the futurized per-leaf task graph, reporting wall
+//!    time and the measured gravity/hydro overlap ratio.
+//!
+//! Results go to stdout (criterion-style lines) and, on a full run, to
+//! `BENCH_hydro.json` at the repo root so successive PRs accumulate a
+//! baseline series.
+//!
+//! `BENCH_SMOKE=1` runs one short iteration for CI (no timing assertions,
+//! no JSON write — smoke numbers must not clobber the committed baseline).
+
+use std::time::Instant;
+
+use octotiger::hydro;
+use octotiger::kernel_backend::{Dispatch, KernelType, SimdPolicy};
+use octotiger::recycle::RecyclePool;
+use octotiger::subgrid::CELLS;
+use octotiger::{Driver, OctoConfig};
+
+struct KernelPoint {
+    label: String,
+    ns_per_sweep: f64,
+}
+
+struct StepPoint {
+    futurize: bool,
+    seconds: f64,
+    overlap_ratio: f64,
+}
+
+/// Worker count for the step-pipeline comparison. The paper's RISC-V runs
+/// sweep 1..64 cores; CI boxes are small, so stay modest and deterministic.
+const STEP_THREADS: usize = 3;
+
+fn bench_config(level: u32, steps: u32, futurize: bool) -> OctoConfig {
+    let mut cfg = OctoConfig {
+        max_level: level,
+        stop_step: steps,
+        threads: STEP_THREADS,
+        ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
+    };
+    cfg.futurize = futurize;
+    cfg.simd_width = 4;
+    cfg
+}
+
+/// Mean wall time of `iters` full-tree hydro sweeps under `policy`.
+fn time_kernel_sweep(driver: &Driver, policy: SimdPolicy, iters: u32) -> KernelPoint {
+    let tree = driver.tree();
+    let d = Dispatch::Legacy;
+    let state_pool = RecyclePool::new();
+    let stage_pool = RecyclePool::new();
+    let dt = 1.0e-4;
+    let sweep = || {
+        for &leaf in tree.leaf_ids() {
+            let out = match policy {
+                SimdPolicy::Scalar => hydro::step_interior(tree.subgrid(leaf), dt, &d),
+                SimdPolicy::Width(_) => hydro::step_interior_policy(
+                    tree.subgrid(leaf),
+                    dt,
+                    &d,
+                    policy,
+                    &state_pool,
+                    &stage_pool,
+                ),
+            };
+            debug_assert_eq!(out.len(), CELLS);
+            state_pool.release(std::hint::black_box(out));
+        }
+    };
+    sweep(); // warm-up (also primes the pools)
+    let start = Instant::now();
+    for _ in 0..iters {
+        sweep();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    KernelPoint {
+        label: policy.label(),
+        ns_per_sweep: ns,
+    }
+}
+
+/// One multi-worker driver run; wall time + measured overlap.
+fn run_step_mode(level: u32, steps: u32, futurize: bool) -> StepPoint {
+    let mut driver = Driver::new(bench_config(level, steps, futurize));
+    let m = driver.run(STEP_THREADS);
+    StepPoint {
+        futurize,
+        seconds: m.elapsed_seconds,
+        overlap_ratio: m.overlap_ratio,
+    }
+}
+
+/// Best-of-`reps` for both step modes, interleaved rep-by-rep so ambient
+/// drift (frequency scaling, background load) hits both sides equally. Min
+/// (not mean) filters OS scheduling noise, which dominates on small shared
+/// CI hosts — the fastest run is the one closest to intrinsic cost.
+fn time_step_modes(level: u32, steps: u32, reps: u32) -> [StepPoint; 2] {
+    let mut best = [
+        run_step_mode(level, steps, false),
+        run_step_mode(level, steps, true),
+    ];
+    for _ in 1..reps {
+        for (slot, futurize) in [(0, false), (1, true)] {
+            let p = run_step_mode(level, steps, futurize);
+            if p.seconds < best[slot].seconds {
+                best[slot] = p;
+            }
+        }
+    }
+    best
+}
+
+fn main() {
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (level, iters, steps, reps) = if smoke { (1, 1, 1, 1) } else { (2, 20, 10, 7) };
+
+    let driver = Driver::new(bench_config(level, steps, true));
+    let policies = [
+        SimdPolicy::Scalar,
+        SimdPolicy::Width(1),
+        SimdPolicy::Width(2),
+        SimdPolicy::Width(4),
+        SimdPolicy::Width(8),
+    ];
+    let mut kernel_points = Vec::new();
+    for policy in policies {
+        let p = time_kernel_sweep(&driver, policy, iters);
+        println!(
+            "hydro-simd/muscl_hll_sweep/{}: mean {:.2} µs",
+            p.label,
+            p.ns_per_sweep / 1e3
+        );
+        kernel_points.push(p);
+    }
+    let scalar_ns = kernel_points[0].ns_per_sweep;
+    for p in &kernel_points[1..] {
+        println!(
+            "hydro-simd/speedup/{}: {:.2}x vs scalar",
+            p.label,
+            scalar_ns / p.ns_per_sweep
+        );
+    }
+
+    let step_points = time_step_modes(level, steps, reps);
+    for p in &step_points {
+        println!(
+            "hydro-futurize/steps(futurize={}): {:.2} ms, overlap_ratio {:.3}",
+            p.futurize,
+            p.seconds * 1e3,
+            p.overlap_ratio
+        );
+    }
+    println!(
+        "hydro-futurize/speedup: {:.2}x vs barriered",
+        step_points[0].seconds / step_points[1].seconds
+    );
+
+    if smoke {
+        println!("BENCH_SMOKE=1: skipping BENCH_hydro.json write");
+        return;
+    }
+
+    let kernel_json: Vec<String> = kernel_points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"policy\": \"{}\", \"ns_per_sweep\": {:.0}, \"speedup_vs_scalar\": {:.3}}}",
+                p.label,
+                p.ns_per_sweep,
+                scalar_ns / p.ns_per_sweep
+            )
+        })
+        .collect();
+    let step_json: Vec<String> = step_points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"futurize\": {}, \"seconds\": {:.6}, \"overlap_ratio\": {:.4}}}",
+                p.futurize, p.seconds, p.overlap_ratio
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"hydro\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"sweep_iters\": {iters},\n  \"step_reps\": {reps},\n  \"threads\": {STEP_THREADS},\n  \"kernel_sweeps\": [\n{}\n  ],\n  \"step_modes\": [\n{}\n  ],\n  \"futurize_speedup\": {:.3}\n}}\n",
+        kernel_json.join(",\n"),
+        step_json.join(",\n"),
+        step_points[0].seconds / step_points[1].seconds
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hydro.json");
+    std::fs::write(path, json).expect("write BENCH_hydro.json");
+    println!("wrote {path}");
+}

@@ -26,10 +26,10 @@ pub mod space;
 pub mod view;
 
 pub use parallel::{
-    parallel_fill, parallel_for, parallel_for_md, parallel_reduce, parallel_reduce_max,
-    parallel_reduce_sum, parallel_scan_inclusive,
+    parallel_fill, parallel_fill_rows, parallel_for, parallel_for_md, parallel_reduce,
+    parallel_reduce_max, parallel_reduce_sum, parallel_scan_inclusive,
 };
 pub use policy::{MDRangePolicy, RangePolicy};
-pub use simd::{natural_width, simd_sum, Simd};
+pub use simd::{natural_width, simd_sum, Mask, Simd};
 pub use space::{ExecutionSpace, HpxSpace, Serial};
 pub use view::{create_mirror, deep_copy, Layout, View};

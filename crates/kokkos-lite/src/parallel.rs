@@ -158,6 +158,45 @@ where
     });
 }
 
+/// Row-granular parallel initialization: `out` is split into consecutive
+/// rows of `row_len` elements and `f(row, chunk)` fills each row in place.
+/// This is the kernel shape explicitly-vectorized stencil code needs — a
+/// task owns whole rows, so a `Simd<W>` pack can store `W` contiguous
+/// elements at once without two tasks ever sharing a cache line of output.
+pub fn parallel_fill_rows<S, T, F>(space: &S, out: &mut [T], row_len: usize, f: F)
+where
+    S: ExecutionSpace,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Send + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(out.len() % row_len, 0, "output must be whole rows");
+    let rows = out.len() / row_len;
+    if rows == 0 {
+        return;
+    }
+    let conc = space.concurrency();
+    if conc <= 1 {
+        for (r, chunk) in out.chunks_mut(row_len).enumerate() {
+            f(r, chunk);
+        }
+        return;
+    }
+    let group = rows.div_ceil(conc * 4).max(1);
+    let pieces: Vec<(usize, parking_lot_free::SendCell<&mut [T]>)> = out
+        .chunks_mut(group * row_len)
+        .enumerate()
+        .map(|(gi, c)| (gi * group, parking_lot_free::SendCell::new(c)))
+        .collect();
+    space.for_range(0..pieces.len(), |pi| {
+        let (row0, cell) = &pieces[pi];
+        let slice = cell.take();
+        for (local, chunk) in slice.chunks_mut(row_len).enumerate() {
+            f(row0 + local, chunk);
+        }
+    });
+}
+
 /// Minimal one-shot cell allowing disjoint `&mut` chunks to cross into
 /// `Fn(usize)` kernels exactly once each.
 mod parking_lot_free {
@@ -285,6 +324,28 @@ mod tests {
         let mut small = vec![1.0, 2.0, 3.0];
         parallel_scan_inclusive(&hpx, &mut small);
         assert_eq!(small, vec![1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn fill_rows_matches_serial_on_all_spaces() {
+        let rt = Runtime::new(4);
+        let hpx = HpxSpace::new(rt.handle());
+        let rows = 64;
+        let row_len = 8;
+        let body = |r: usize, chunk: &mut [f64]| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                *slot = (r * 100 + k) as f64;
+            }
+        };
+        let mut serial = vec![0.0; rows * row_len];
+        parallel_fill_rows(&Serial, &mut serial, row_len, body);
+        let mut par = vec![0.0; rows * row_len];
+        parallel_fill_rows(&hpx, &mut par, row_len, body);
+        assert_eq!(serial, par);
+        assert_eq!(serial[9 * row_len + 3], 903.0);
+        // Empty output is a no-op even with a nonzero row length.
+        let mut empty: Vec<f64> = vec![];
+        parallel_fill_rows(&hpx, &mut empty, row_len, body);
     }
 
     #[test]

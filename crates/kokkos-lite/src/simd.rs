@@ -16,6 +16,46 @@ use rv_machine::CpuArch;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Simd<const W: usize>(pub [f64; W]);
 
+/// Per-lane boolean mask — the result of a [`Simd`] comparison and the
+/// selector of [`Mask::select`]. This is how branchy scalar code (limiters,
+/// entropy fixes, floor clamps) becomes divergence-free vector code: both
+/// sides are computed, the mask picks per lane, exactly like
+/// `Kokkos::Experimental::simd_mask` / SVE predication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mask<const W: usize>(pub [bool; W]);
+
+impl<const W: usize> Mask<W> {
+    /// All lanes set to `b`.
+    #[inline]
+    pub fn splat(b: bool) -> Self {
+        Mask([b; W])
+    }
+
+    /// Per-lane choice: `t` where the lane is true, `f` otherwise.
+    #[inline]
+    pub fn select(self, t: Simd<W>, f: Simd<W>) -> Simd<W> {
+        let mut out = f.0;
+        for (i, (o, tv)) in out.iter_mut().zip(t.0.iter()).enumerate() {
+            if self.0[i] {
+                *o = *tv;
+            }
+        }
+        Simd(out)
+    }
+
+    /// True iff at least one lane is set.
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&b| b)
+    }
+
+    /// True iff every lane is set.
+    #[inline]
+    pub fn all(self) -> bool {
+        self.0.iter().all(|&b| b)
+    }
+}
+
 /// Lane count `arch` would compile this pack to (Table 2's vector length).
 pub fn natural_width(arch: CpuArch) -> usize {
     arch.spec().vector.lanes() as usize
@@ -135,6 +175,56 @@ impl<const W: usize> Simd<W> {
             *o = o.max(*b);
         }
         Simd(out)
+    }
+
+    /// Lane-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0.iter()) {
+            *o = o.min(*b);
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise absolute value.
+    #[inline]
+    pub fn abs(self) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = o.abs();
+        }
+        Simd(out)
+    }
+
+    /// Lane-wise `self < other`.
+    #[inline]
+    pub fn lt(self, other: Self) -> Mask<W> {
+        let mut out = [false; W];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a < b;
+        }
+        Mask(out)
+    }
+
+    /// Lane-wise `self <= other`.
+    #[inline]
+    pub fn le(self, other: Self) -> Mask<W> {
+        let mut out = [false; W];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a <= b;
+        }
+        Mask(out)
+    }
+
+    /// Lane-wise `self >= other`.
+    #[inline]
+    pub fn ge(self, other: Self) -> Mask<W> {
+        let mut out = [false; W];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(other.0.iter())) {
+            *o = a >= b;
+        }
+        Mask(out)
     }
 
     /// Lane-wise square root.
@@ -297,6 +387,35 @@ mod tests {
         // Offset at / past the end: all lanes filled.
         assert_eq!(Simd::<4>::from_slice_padded(&src, 3, -1.0).0, [-1.0; 4]);
         assert_eq!(Simd::<4>::from_slice_padded(&src, 64, 0.5).0, [0.5; 4]);
+    }
+
+    #[test]
+    fn min_abs_lanewise() {
+        let a = Simd::<4>([-1.0, 2.0, -3.0, 4.0]);
+        assert_eq!(a.abs().0, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.min(Simd::splat(1.5)).0, [-1.0, 1.5, -3.0, 1.5]);
+    }
+
+    #[test]
+    fn masks_compare_and_select_lanewise() {
+        let a = Simd::<4>([1.0, 2.0, 3.0, 4.0]);
+        let b = Simd::<4>::splat(2.5);
+        assert_eq!(a.lt(b).0, [true, true, false, false]);
+        assert_eq!(a.ge(b).0, [false, false, true, true]);
+        assert_eq!(a.le(Simd::splat(2.0)).0, [true, true, false, false]);
+        let sel = a.lt(b).select(Simd::splat(-1.0), a);
+        assert_eq!(sel.0, [-1.0, -1.0, 3.0, 4.0]);
+        assert!(a.lt(b).any());
+        assert!(!a.lt(b).all());
+        assert!(Mask::<4>::splat(true).all());
+        assert!(!Mask::<4>::splat(false).any());
+        // Select reproduces the branchy scalar minmod limiter bit-for-bit.
+        let x = Simd::<4>([1.0, -3.0, 1.0, 0.0]);
+        let y = Simd::<4>([2.0, -2.0, -1.0, 5.0]);
+        let zero = Simd::zero();
+        let slope = x.abs().lt(y.abs()).select(x, y);
+        let mm = (x * y).le(zero).select(zero, slope);
+        assert_eq!(mm.0, [1.0, -2.0, 0.0, 0.0]);
     }
 
     #[test]

@@ -54,6 +54,13 @@ pub struct OctoConfig {
     /// topology changes (`--interaction_list_cache`). Off = the cache-off
     /// ablation: rebuild the dual traversal every step, as the seed did.
     pub use_interaction_cache: bool,
+    /// Run the step as a per-leaf futurized task graph (`--futurize`):
+    /// each leaf's hydro task depends only on the global CFL reduction and
+    /// the gravity moments, so gravity M2L for one leaf overlaps hydro on
+    /// others — HPX-style latency hiding instead of four phase barriers.
+    /// Off = the barriered ablation (the seed's step structure). Both modes
+    /// produce bitwise-identical states.
+    pub futurize: bool,
     /// Write a Chrome trace-event JSON of the run to this path
     /// (`--trace-out=trace.json`, loadable in `about://tracing`/Perfetto).
     /// `None` (the default) leaves tracing disabled — zero-cost.
@@ -80,6 +87,7 @@ impl Default for OctoConfig {
             refine_density_frac: 1.0e-4,
             simd_width: 4,
             use_interaction_cache: true,
+            futurize: true,
             trace_out: None,
             counter_table: false,
         }
@@ -148,6 +156,15 @@ impl OctoConfig {
                             return Err(format!(
                                 "invalid value {other:?} for --interaction_list_cache (on/off)"
                             ))
+                        }
+                    }
+                }
+                "futurize" => {
+                    cfg.futurize = match value {
+                        "on" | "1" | "true" => true,
+                        "off" | "0" | "false" => false,
+                        other => {
+                            return Err(format!("invalid value {other:?} for --futurize (on/off)"))
                         }
                     }
                 }
@@ -263,6 +280,17 @@ mod tests {
         assert!(OctoConfig::from_args(["--hpx:parcelport=infiniband"]).is_err());
         assert!(OctoConfig::from_args(["--simd_kernel_width=3"]).is_err());
         assert!(OctoConfig::from_args(["--interaction_list_cache=maybe"]).is_err());
+        assert!(OctoConfig::from_args(["--futurize=maybe"]).is_err());
+    }
+
+    #[test]
+    fn parses_futurize_flag() {
+        assert!(
+            OctoConfig::default().futurize,
+            "the futurized task graph is the default step structure"
+        );
+        assert!(!OctoConfig::from_args(["--futurize=off"]).unwrap().futurize);
+        assert!(OctoConfig::from_args(["--futurize=on"]).unwrap().futurize);
     }
 
     #[test]

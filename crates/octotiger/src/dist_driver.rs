@@ -35,6 +35,7 @@ use crate::gravity::{
 use crate::hydro;
 use crate::kernel_backend::Dispatch;
 use crate::octree::{NodeId, Octree};
+use crate::recycle::RecyclePool;
 use crate::star::RotatingStar;
 use crate::subgrid::Face;
 
@@ -133,6 +134,10 @@ struct Domain {
     interaction_cache: InteractionCache,
     /// Per-worker gravity scratch buffers.
     scratch: ScratchPool,
+    /// Recycled per-leaf hydro output buffers.
+    state_pool: RecyclePool<[f64; crate::star::NF]>,
+    /// Recycled SoA primitive staging buffers for the SIMD hydro path.
+    stage_pool: RecyclePool<f64>,
     /// Work counters.
     work: WorkEstimate,
 }
@@ -246,6 +251,8 @@ fn build_domain(cfg: OctoConfig, node: u32, nodes: u32) -> Domain {
         gravity_ws: GravityWorkspace::new(),
         interaction_cache: InteractionCache::new(),
         scratch: ScratchPool::new(),
+        state_pool: RecyclePool::new(),
+        stage_pool: RecyclePool::new(),
         work: WorkEstimate::default(),
     }
 }
@@ -465,6 +472,9 @@ fn solve_step_locked(
         };
         let kernels = &kernels;
         let hydro_d = &hydro_d;
+        let policy = d.cfg.simd_policy();
+        let state_pool = &d.state_pool;
+        let stage_pool = &d.stage_pool;
         scope(handle, |sc| {
             for (slot, &(_, leaf)) in results.iter_mut().zip(&targets) {
                 sc.spawn(move || {
@@ -482,7 +492,14 @@ fn solve_step_locked(
                         &mut scratch,
                     );
                     scratch_pool.put(scratch);
-                    let state = hydro::step_interior(tree.subgrid(leaf), dt, hydro_d);
+                    let state = hydro::step_interior_policy(
+                        tree.subgrid(leaf),
+                        dt,
+                        hydro_d,
+                        policy,
+                        state_pool,
+                        stage_pool,
+                    );
                     *slot = Some(LeafOut {
                         leaf,
                         acc,
@@ -504,6 +521,7 @@ fn solve_step_locked(
         let grid = d.tree.subgrid_mut(out.leaf);
         hydro::apply_interior(grid, &out.state);
         hydro::apply_gravity_source(grid, &out.acc, dt);
+        d.state_pool.release(out.state);
         far_total += out.far;
         near_total += out.near;
         far_padded += rv_machine::simd_padded_interactions(out.far, lanes);

@@ -172,6 +172,30 @@ impl Dispatch {
         }
     }
 
+    /// Row-granular fill kernel: `out` is split into consecutive rows of
+    /// `row_len` elements and `f(row, chunk)` writes each row in place —
+    /// the shape the explicitly-vectorized hydro kernel needs so one task
+    /// owns whole k-rows and can store full `Simd<W>` packs.
+    pub fn fill_rows<T, F>(&self, out: &mut [T], row_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Send + Sync,
+    {
+        match self {
+            Dispatch::Legacy => {
+                assert!(row_len > 0, "row_len must be positive");
+                assert_eq!(out.len() % row_len, 0, "output must be whole rows");
+                for (r, chunk) in out.chunks_mut(row_len).enumerate() {
+                    f(r, chunk);
+                }
+            }
+            Dispatch::KokkosSerial => {
+                kokkos_lite::parallel_fill_rows(&kokkos_lite::Serial, out, row_len, f)
+            }
+            Dispatch::KokkosHpx(space) => kokkos_lite::parallel_fill_rows(space, out, row_len, f),
+        }
+    }
+
     /// Max-reduction kernel over `0..n`.
     pub fn reduce_max<F>(&self, n: usize, f: F) -> f64
     where
@@ -248,6 +272,17 @@ mod tests {
             assert_eq!(m, 90.0);
             let s = d.reduce_sum(101, |i| i as f64);
             assert_eq!(s, 5050.0);
+            let mut rows = vec![0u64; 48];
+            d.fill_rows(&mut rows, 8, |r, chunk| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (r * 10 + k) as u64;
+                }
+            });
+            assert_eq!(rows[8 * 3 + 5], 35);
+            assert!(rows
+                .iter()
+                .enumerate()
+                .all(|(n, &v)| v == ((n / 8) * 10 + n % 8) as u64));
         }
     }
 

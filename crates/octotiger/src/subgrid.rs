@@ -160,6 +160,32 @@ impl SubGrid {
         [rho, vx, vy, vz, p]
     }
 
+    /// Fill an SoA primitive staging view over the **whole ghost frame**:
+    /// `out` is `[5][NT][NT][NT]` flattened (field-major, z fastest), so
+    /// `out[q·NT³ + ((i+NG)·NT + j+NG)·NT + k+NG]` is primitive `q` of
+    /// ghost-frame cell `(i, j, k)`. Each primitive becomes a contiguous
+    /// z-lane the SIMD hydro kernels load with plain unit-stride packs —
+    /// and each cell's conserved→primitive conversion (with floors) happens
+    /// exactly once per step instead of once per stencil visit.
+    ///
+    /// Per-lane values are bit-identical to [`SubGrid::primitives`].
+    pub fn stage_primitives(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), 5 * NT * NT * NT, "staging view size mismatch");
+        let ng = NG as i64;
+        let stride_f = NT * NT * NT;
+        for x in 0..NT {
+            for y in 0..NT {
+                for z in 0..NT {
+                    let prim = self.primitives(x as i64 - ng, y as i64 - ng, z as i64 - ng);
+                    let c = (x * NT + y) * NT + z;
+                    for (q, v) in prim.iter().enumerate() {
+                        out[q * stride_f + c] = *v;
+                    }
+                }
+            }
+        }
+    }
+
     /// Volume integral of field `f` over the interior.
     pub fn integral(&self, f: usize) -> f64 {
         let vol = self.dx * self.dx * self.dx;
@@ -335,6 +361,31 @@ mod tests {
         assert!((vx + star.omega * c[1]).abs() < 1e-12);
         assert!((vy - star.omega * c[0]).abs() < 1e-12);
         assert!((p - star.pressure(rho)).abs() / p < 1e-9);
+    }
+
+    #[test]
+    fn staged_primitives_match_per_cell_primitives_bitwise() {
+        let star = RotatingStar::paper_default();
+        let mut g = SubGrid::new([-0.1, -0.1, -0.1], 0.025);
+        g.init_from_star(&star);
+        let mut stage = vec![0.0; 5 * NT * NT * NT];
+        g.stage_primitives(&mut stage);
+        let ng = NG as i64;
+        for x in 0..NT {
+            for y in 0..NT {
+                for z in 0..NT {
+                    let want = g.primitives(x as i64 - ng, y as i64 - ng, z as i64 - ng);
+                    let c = (x * NT + y) * NT + z;
+                    for (q, w) in want.iter().enumerate() {
+                        assert_eq!(
+                            stage[q * NT * NT * NT + c].to_bits(),
+                            w.to_bits(),
+                            "primitive {q} at ({x},{y},{z})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

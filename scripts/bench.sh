@@ -16,6 +16,9 @@ fi
 echo "== gravity SIMD + interaction-cache bench (writes BENCH_gravity.json) =="
 BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_gravity
 
+echo "== hydro SIMD + futurization bench (writes BENCH_hydro.json) =="
+BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_hydro
+
 echo "== tracer overhead bench (writes BENCH_trace_overhead.json) =="
 BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_trace
 
@@ -26,6 +29,9 @@ if [[ "$SMOKE" == "0" ]]; then
   echo
   echo "BENCH_gravity.json updated:"
   cat BENCH_gravity.json
+  echo
+  echo "BENCH_hydro.json updated:"
+  cat BENCH_hydro.json
   echo
   echo "BENCH_trace_overhead.json updated:"
   cat BENCH_trace_overhead.json

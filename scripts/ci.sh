@@ -13,9 +13,13 @@ cargo test -q
 echo "== SIMD/scalar kernel agreement =="
 cargo test -q -p octotiger dispatch_backends_agree_on_gravity
 cargo test -q --test simd_gravity_prop
+cargo test -q --test simd_hydro_prop
 
 echo "== gravity bench smoke (one short iteration, no timing assertions) =="
 BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_gravity
+
+echo "== hydro bench smoke =="
+BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_hydro
 
 echo "== tracer overhead bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_trace
@@ -27,6 +31,15 @@ cargo run --release --example distributed_cluster -- \
 cargo run --release -p apex-lite --bin trace_check -- \
   --require task,phase,comm --min-spans 10 "$TRACE_OUT"
 rm -f "$TRACE_OUT"
+
+echo "== futurized trace: gravity/hydro spans must overlap =="
+TRACE_FUT=$(mktemp -t apexlite_fut_XXXXXX.json)
+cargo run --release --example rotating_star -- \
+  --max_level=1 --stop_step=3 --hpx:threads=4 --futurize=on \
+  --trace-out="$TRACE_FUT" >/dev/null
+cargo run --release -p apex-lite --bin trace_check -- \
+  --require-overlap=gravity_solve,hydro_step "$TRACE_FUT"
+rm -f "$TRACE_FUT"
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -58,6 +58,9 @@ fn trace_spans_agree_with_run_metrics() {
     let _g = lock();
     let path = tmp_trace("driver");
     let mut cfg = tiny_config();
+    // Barriered mode: exactly one span per phase per step. (The futurized
+    // graph emits per-*leaf* hydro/gravity spans instead — covered below.)
+    cfg.futurize = false;
     cfg.trace_out = Some(path.to_string_lossy().into_owned());
     let mut driver = Driver::new(cfg);
     let metrics = driver.run(2);
@@ -89,6 +92,63 @@ fn trace_spans_agree_with_run_metrics() {
         metrics.counters.get("/gravity/cache_misses")
             == Some(CounterValue::Count(metrics.cache.misses))
     );
+}
+
+#[test]
+fn futurized_trace_shows_per_leaf_spans_overlapping_across_workers() {
+    let _g = lock();
+    let path = tmp_trace("futurized");
+    let mut cfg = tiny_config();
+    cfg.threads = 4;
+    cfg.futurize = true;
+    cfg.trace_out = Some(path.to_string_lossy().into_owned());
+    let mut driver = Driver::new(cfg);
+    let metrics = driver.run(4);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = validate(&text).expect("futurized trace must validate");
+    let _ = std::fs::remove_file(&path);
+
+    // The phase barriers are gone: gravity_solve and hydro_step are now
+    // per-*leaf* task spans, one per leaf per step, plus one span per step
+    // for the serial joins (dt reduction, M2M + interaction lists).
+    let steps = u64::from(metrics.steps);
+    let leaf_spans = steps * metrics.leaf_count as u64;
+    for name in ["cfl_leaf", "p2m_leaf", "gravity_solve", "hydro_step"] {
+        assert_eq!(summary.count_name(name), leaf_spans, "per-leaf {name}");
+    }
+    assert_eq!(summary.count_name("cfl_reduction"), steps);
+    assert_eq!(summary.count_name("gravity_moments"), steps);
+    assert_eq!(summary.count_name("ghost_exchange"), steps);
+
+    // The tentpole's proof obligation: gravity kernels on one worker ran
+    // while hydro kernels ran on another — positive wall-clock overlap
+    // both in the trace and in the driver's envelope counter.
+    assert!(
+        summary.overlap_ns("gravity_solve", "hydro_step") > 0,
+        "futurized run never interleaved gravity and hydro spans"
+    );
+    assert!(
+        metrics.overlap_ratio > 0.0,
+        "overlap_ratio not positive: {}",
+        metrics.overlap_ratio
+    );
+    assert!(
+        metrics.counters.get("/runtime/overlap_ratio")
+            == Some(CounterValue::Gauge(metrics.overlap_ratio))
+    );
+}
+
+#[test]
+fn barriered_run_reports_zero_overlap() {
+    let _g = lock();
+    let mut cfg = tiny_config();
+    cfg.futurize = false;
+    let mut driver = Driver::new(cfg);
+    let metrics = driver.run(2);
+    // Phases are separated by full task barriers: the gravity and hydro
+    // kernel envelopes cannot intersect.
+    assert_eq!(metrics.overlap_ratio, 0.0);
 }
 
 #[test]
