@@ -8,9 +8,12 @@
 //!
 //! Each FILE is parsed and validated (well-formed JSON, required fields,
 //! per-thread completion-order monotonicity, strict span nesting). With
-//! `--require`, every listed category must appear in every file — the CI
-//! smoke run uses `--require task,phase,comm` to prove the trace spans all
-//! three instrumented layers. With `--require-overlap A,B`, spans named `A`
+//! `--require`, every listed token must appear in every file, matching
+//! either an event *category* or a span *name* — the CI smoke run uses
+//! `--require task,phase,comm` to prove the trace spans all three
+//! instrumented layers, and the aggregation gate uses
+//! `--require aggregate_launch` to prove batched kernel launches happened.
+//! With `--require-overlap A,B`, spans named `A`
 //! and `B` must have been simultaneously open (on any two threads) for a
 //! positive wall-clock duration — the CI proof that a futurized run really
 //! interleaved gravity and hydro instead of running them phase-by-phase.
@@ -92,9 +95,11 @@ fn main() -> ExitCode {
                         summary.spans
                     ));
                 }
-                for cat in &require {
-                    if summary.count_cat(cat) == 0 {
-                        problems.push(format!("no events in required category {cat:?}"));
+                for tok in &require {
+                    if summary.count_cat(tok) == 0 && summary.count_name(tok) == 0 {
+                        problems.push(format!(
+                            "no events with required category or span name {tok:?}"
+                        ));
                     }
                 }
                 for (a, b) in &require_overlap {
@@ -147,8 +152,8 @@ fn usage(err: &str) -> ExitCode {
         eprintln!("trace_check: {err}");
     }
     eprintln!(
-        "usage: trace_check [--require CAT[,CAT...]] [--require-overlap A,B] [--min-spans N] \
-         FILE..."
+        "usage: trace_check [--require CAT_OR_NAME[,...]] [--require-overlap A,B] \
+         [--min-spans N] FILE..."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

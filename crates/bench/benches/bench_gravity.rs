@@ -23,24 +23,46 @@ struct KernelPoint {
 
 struct DriverPoint {
     cache: bool,
+    host_tasks: usize,
     seconds: f64,
     hits: u64,
     misses: u64,
     mac_evals: u64,
+    tasks_spawned: u64,
+    fused_launches: u64,
 }
 
-fn bench_config(level: u32, steps: u32, cache: bool) -> OctoConfig {
+fn bench_config(level: u32, steps: u32, cache: bool, host_tasks: usize) -> OctoConfig {
     OctoConfig {
         max_level: level,
         stop_step: steps,
         threads: 2,
         use_interaction_cache: cache,
+        monopole_host_tasks: host_tasks,
+        multipole_host_tasks: host_tasks,
+        hydro_host_tasks: host_tasks,
         ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
     }
 }
 
-/// Mean wall time of `iters` full-tree FMM sweeps under `policy`.
-fn time_kernel_sweep(driver: &Driver, policy: SimdPolicy, iters: u32) -> KernelPoint {
+/// Work-aggregation batch size for the batched driver runs; `1` is the
+/// per-leaf baseline. `BENCH_HOST_TASKS` overrides (the CI smoke run pins
+/// two sizes to exercise both paths).
+fn batch_size() -> usize {
+    std::env::var("BENCH_HOST_TASKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+/// Best (min) wall time of `iters` full-tree FMM sweeps per policy, with
+/// the policies interleaved iteration-by-iteration (the `time_step_modes`
+/// methodology from bench_hydro): ambient drift — frequency scaling,
+/// background load — hits every width equally instead of penalizing
+/// whichever policy happens to be timed last, and min filters OS
+/// scheduling noise, so narrow width-vs-width gaps (W8 vs W4 on
+/// single-FMA-unit AVX-512 parts) reflect intrinsic kernel cost.
+fn time_kernel_sweeps(driver: &Driver, policies: &[SimdPolicy], iters: u32) -> Vec<KernelPoint> {
     let tree = driver.tree();
     let blocks: Vec<gravity::BlockSoA> = tree
         .leaf_ids()
@@ -55,13 +77,13 @@ fn time_kernel_sweep(driver: &Driver, policy: SimdPolicy, iters: u32) -> KernelP
     // Legacy dispatch = inline serial execution: the measurement isolates
     // the kernels from task-scheduling noise.
     let d = Dispatch::Legacy;
-    let kernels = GravityKernels {
-        multipole: &d,
-        monopole: &d,
-        simd: policy,
-    };
     let mut scratch = LeafScratch::new();
-    let sweep = |scratch: &mut LeafScratch| {
+    let mut sweep = |policy: SimdPolicy| {
+        let kernels = GravityKernels {
+            multipole: &d,
+            monopole: &d,
+            simd: policy,
+        };
         for &leaf in tree.leaf_ids() {
             let (far, near) = &lists[ws.leaf_pos[leaf]];
             std::hint::black_box(gravity::accel_for_leaf_with(
@@ -73,32 +95,45 @@ fn time_kernel_sweep(driver: &Driver, policy: SimdPolicy, iters: u32) -> KernelP
                 far,
                 near,
                 &kernels,
-                scratch,
+                &mut scratch,
             ));
         }
     };
-    sweep(&mut scratch); // warm-up
-    let start = Instant::now();
+    for &p in policies {
+        sweep(p); // warm-up
+    }
+    let mut best = vec![f64::INFINITY; policies.len()];
     for _ in 0..iters {
-        sweep(&mut scratch);
+        for (i, &p) in policies.iter().enumerate() {
+            let start = Instant::now();
+            sweep(p);
+            best[i] = best[i].min(start.elapsed().as_nanos() as f64);
+        }
     }
-    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
-    KernelPoint {
-        label: policy.label(),
-        ns_per_sweep: ns,
-    }
+    policies
+        .iter()
+        .zip(best)
+        .map(|(p, ns)| KernelPoint {
+            label: p.label(),
+            ns_per_sweep: ns,
+        })
+        .collect()
 }
 
-/// One short driver run; reports wall time and cache counters.
-fn time_driver(level: u32, steps: u32, cache: bool) -> DriverPoint {
-    let mut driver = Driver::new(bench_config(level, steps, cache));
+/// One short driver run; reports wall time, cache and aggregation counters.
+fn time_driver(level: u32, steps: u32, cache: bool, host_tasks: usize) -> DriverPoint {
+    let mut driver = Driver::new(bench_config(level, steps, cache, host_tasks));
     let m = driver.run(2);
+    let agg = driver.aggregation_stats();
     DriverPoint {
         cache,
+        host_tasks,
         seconds: m.elapsed_seconds,
         hits: m.cache.hits,
         misses: m.cache.misses,
         mac_evals: m.work.mac_evals,
+        tasks_spawned: m.runtime_stats.tasks_spawned,
+        fused_launches: agg.fused_launches,
     }
 }
 
@@ -106,7 +141,8 @@ fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
     let (level, iters, steps) = if smoke { (1, 1, 1) } else { (2, 12, 4) };
 
-    let driver = Driver::new(bench_config(level, steps, true));
+    let batch = batch_size();
+    let driver = Driver::new(bench_config(level, steps, true, 1));
     let policies = [
         SimdPolicy::Scalar,
         SimdPolicy::Width(1),
@@ -114,15 +150,13 @@ fn main() {
         SimdPolicy::Width(4),
         SimdPolicy::Width(8),
     ];
-    let mut kernel_points = Vec::new();
-    for policy in policies {
-        let p = time_kernel_sweep(&driver, policy, iters);
+    let kernel_points = time_kernel_sweeps(&driver, &policies, iters);
+    for p in &kernel_points {
         println!(
-            "gravity-simd/fmm_sweep/{}: mean {:.2} µs",
+            "gravity-simd/fmm_sweep/{}: min {:.2} µs",
             p.label,
             p.ns_per_sweep / 1e3
         );
-        kernel_points.push(p);
     }
     let scalar_ns = kernel_points[0].ns_per_sweep;
     for p in &kernel_points[1..] {
@@ -134,17 +168,22 @@ fn main() {
     }
 
     let driver_points = [
-        time_driver(level, steps, true),
-        time_driver(level, steps, false),
+        time_driver(level, steps, true, 1),
+        time_driver(level, steps, false, 1),
+        time_driver(level, steps, true, batch),
     ];
     for p in &driver_points {
         println!(
-            "gravity-cache/steps(cache={}): {:.2} ms, hits {} misses {} mac_evals {}",
+            "gravity-cache/steps(cache={},host_tasks={}): {:.2} ms, hits {} misses {} \
+             mac_evals {} tasks_spawned {} fused_launches {}",
             p.cache,
+            p.host_tasks,
             p.seconds * 1e3,
             p.hits,
             p.misses,
-            p.mac_evals
+            p.mac_evals,
+            p.tasks_spawned,
+            p.fused_launches
         );
     }
 
@@ -168,13 +207,15 @@ fn main() {
         .iter()
         .map(|p| {
             format!(
-                "    {{\"interaction_cache\": {}, \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}, \"mac_evals\": {}}}",
-                p.cache, p.seconds, p.hits, p.misses, p.mac_evals
+                "    {{\"interaction_cache\": {}, \"host_tasks\": {}, \"seconds\": {:.6}, \"hits\": {}, \"misses\": {}, \"mac_evals\": {}, \"tasks_spawned\": {}, \"fused_launches\": {}}}",
+                p.cache, p.host_tasks, p.seconds, p.hits, p.misses, p.mac_evals, p.tasks_spawned, p.fused_launches
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"gravity\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"sweep_iters\": {iters},\n  \"kernel_sweeps\": [\n{}\n  ],\n  \"driver_runs\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"gravity\",\n  \"host_simd_isa\": \"{}\",\n  \"compiled_simd_isa\": \"{}\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"sweep_iters\": {iters},\n  \"kernel_sweeps\": [\n{}\n  ],\n  \"driver_runs\": [\n{}\n  ]\n}}\n",
+        octotiger::kernel_backend::host_simd_isa(),
+        octotiger::kernel_backend::compiled_simd_isa(),
         kernel_json.join(",\n"),
         driver_json.join(",\n")
     );

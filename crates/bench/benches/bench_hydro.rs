@@ -32,19 +32,25 @@ struct KernelPoint {
 
 struct StepPoint {
     futurize: bool,
+    host_tasks: usize,
     seconds: f64,
     overlap_ratio: f64,
+    tasks_spawned: u64,
+    fused_launches: u64,
 }
 
 /// Worker count for the step-pipeline comparison. The paper's RISC-V runs
 /// sweep 1..64 cores; CI boxes are small, so stay modest and deterministic.
 const STEP_THREADS: usize = 3;
 
-fn bench_config(level: u32, steps: u32, futurize: bool) -> OctoConfig {
+fn bench_config(level: u32, steps: u32, futurize: bool, host_tasks: usize) -> OctoConfig {
     let mut cfg = OctoConfig {
         max_level: level,
         stop_step: steps,
         threads: STEP_THREADS,
+        monopole_host_tasks: host_tasks,
+        multipole_host_tasks: host_tasks,
+        hydro_host_tasks: host_tasks,
         ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
     };
     cfg.futurize = futurize;
@@ -52,14 +58,28 @@ fn bench_config(level: u32, steps: u32, futurize: bool) -> OctoConfig {
     cfg
 }
 
-/// Mean wall time of `iters` full-tree hydro sweeps under `policy`.
-fn time_kernel_sweep(driver: &Driver, policy: SimdPolicy, iters: u32) -> KernelPoint {
+/// Work-aggregation batch size for the batched step-pipeline run; `1` is
+/// the per-leaf baseline. `BENCH_HOST_TASKS` overrides (CI smoke pins two
+/// sizes to exercise both paths).
+fn batch_size() -> usize {
+    std::env::var("BENCH_HOST_TASKS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+/// Best (min) wall time of `iters` full-tree hydro sweeps per policy, with
+/// the policies interleaved iteration-by-iteration (the `time_step_modes`
+/// methodology): ambient drift hits every width equally instead of
+/// penalizing whichever policy is timed last, and min filters OS
+/// scheduling noise, so width-vs-width gaps reflect intrinsic kernel cost.
+fn time_kernel_sweeps(driver: &Driver, policies: &[SimdPolicy], iters: u32) -> Vec<KernelPoint> {
     let tree = driver.tree();
     let d = Dispatch::Legacy;
     let state_pool = RecyclePool::new();
     let stage_pool = RecyclePool::new();
     let dt = 1.0e-4;
-    let sweep = || {
+    let sweep = |policy: SimdPolicy| {
         for &leaf in tree.leaf_ids() {
             let out = match policy {
                 SimdPolicy::Scalar => hydro::step_interior(tree.subgrid(leaf), dt, &d),
@@ -76,41 +96,53 @@ fn time_kernel_sweep(driver: &Driver, policy: SimdPolicy, iters: u32) -> KernelP
             state_pool.release(std::hint::black_box(out));
         }
     };
-    sweep(); // warm-up (also primes the pools)
-    let start = Instant::now();
+    for &p in policies {
+        sweep(p); // warm-up (also primes the pools)
+    }
+    let mut best = vec![f64::INFINITY; policies.len()];
     for _ in 0..iters {
-        sweep();
+        for (i, &p) in policies.iter().enumerate() {
+            let start = Instant::now();
+            sweep(p);
+            best[i] = best[i].min(start.elapsed().as_nanos() as f64);
+        }
     }
-    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
-    KernelPoint {
-        label: policy.label(),
-        ns_per_sweep: ns,
-    }
+    policies
+        .iter()
+        .zip(best)
+        .map(|(p, ns)| KernelPoint {
+            label: p.label(),
+            ns_per_sweep: ns,
+        })
+        .collect()
 }
 
-/// One multi-worker driver run; wall time + measured overlap.
-fn run_step_mode(level: u32, steps: u32, futurize: bool) -> StepPoint {
-    let mut driver = Driver::new(bench_config(level, steps, futurize));
+/// One multi-worker driver run; wall time + measured overlap + task counts.
+fn run_step_mode(level: u32, steps: u32, futurize: bool, host_tasks: usize) -> StepPoint {
+    let mut driver = Driver::new(bench_config(level, steps, futurize, host_tasks));
     let m = driver.run(STEP_THREADS);
+    let agg = driver.aggregation_stats();
     StepPoint {
         futurize,
+        host_tasks,
         seconds: m.elapsed_seconds,
         overlap_ratio: m.overlap_ratio,
+        tasks_spawned: m.runtime_stats.tasks_spawned,
+        fused_launches: agg.fused_launches,
     }
 }
 
-/// Best-of-`reps` for both step modes, interleaved rep-by-rep so ambient
-/// drift (frequency scaling, background load) hits both sides equally. Min
-/// (not mean) filters OS scheduling noise, which dominates on small shared
-/// CI hosts — the fastest run is the one closest to intrinsic cost.
-fn time_step_modes(level: u32, steps: u32, reps: u32) -> [StepPoint; 2] {
-    let mut best = [
-        run_step_mode(level, steps, false),
-        run_step_mode(level, steps, true),
-    ];
+/// Best-of-`reps` for the three step modes (barriered, futurized per-leaf,
+/// futurized batched), interleaved rep-by-rep so ambient drift (frequency
+/// scaling, background load) hits all sides equally. Min (not mean) filters
+/// OS scheduling noise, which dominates on small shared CI hosts — the
+/// fastest run is the one closest to intrinsic cost.
+fn time_step_modes(level: u32, steps: u32, reps: u32, batch: usize) -> [StepPoint; 3] {
+    let modes = [(false, 1), (true, 1), (true, batch)];
+    let mut best = modes.map(|(f, b)| run_step_mode(level, steps, f, b));
     for _ in 1..reps {
-        for (slot, futurize) in [(0, false), (1, true)] {
-            let p = run_step_mode(level, steps, futurize);
+        for (slot, (futurize, host_tasks)) in modes.into_iter().enumerate() {
+            let p = run_step_mode(level, steps, futurize, host_tasks);
             if p.seconds < best[slot].seconds {
                 best[slot] = p;
             }
@@ -123,7 +155,8 @@ fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
     let (level, iters, steps, reps) = if smoke { (1, 1, 1, 1) } else { (2, 20, 10, 7) };
 
-    let driver = Driver::new(bench_config(level, steps, true));
+    let batch = batch_size();
+    let driver = Driver::new(bench_config(level, steps, true, 1));
     let policies = [
         SimdPolicy::Scalar,
         SimdPolicy::Width(1),
@@ -131,15 +164,13 @@ fn main() {
         SimdPolicy::Width(4),
         SimdPolicy::Width(8),
     ];
-    let mut kernel_points = Vec::new();
-    for policy in policies {
-        let p = time_kernel_sweep(&driver, policy, iters);
+    let kernel_points = time_kernel_sweeps(&driver, &policies, iters);
+    for p in &kernel_points {
         println!(
-            "hydro-simd/muscl_hll_sweep/{}: mean {:.2} µs",
+            "hydro-simd/muscl_hll_sweep/{}: min {:.2} µs",
             p.label,
             p.ns_per_sweep / 1e3
         );
-        kernel_points.push(p);
     }
     let scalar_ns = kernel_points[0].ns_per_sweep;
     for p in &kernel_points[1..] {
@@ -150,18 +181,26 @@ fn main() {
         );
     }
 
-    let step_points = time_step_modes(level, steps, reps);
+    let step_points = time_step_modes(level, steps, reps, batch);
     for p in &step_points {
         println!(
-            "hydro-futurize/steps(futurize={}): {:.2} ms, overlap_ratio {:.3}",
+            "hydro-futurize/steps(futurize={},host_tasks={}): {:.2} ms, overlap_ratio {:.3}, \
+             tasks_spawned {} fused_launches {}",
             p.futurize,
+            p.host_tasks,
             p.seconds * 1e3,
-            p.overlap_ratio
+            p.overlap_ratio,
+            p.tasks_spawned,
+            p.fused_launches
         );
     }
     println!(
         "hydro-futurize/speedup: {:.2}x vs barriered",
         step_points[0].seconds / step_points[1].seconds
+    );
+    println!(
+        "hydro-aggregate/speedup(host_tasks={batch}): {:.2}x vs per-leaf futurized",
+        step_points[1].seconds / step_points[2].seconds
     );
 
     if smoke {
@@ -184,16 +223,19 @@ fn main() {
         .iter()
         .map(|p| {
             format!(
-                "    {{\"futurize\": {}, \"seconds\": {:.6}, \"overlap_ratio\": {:.4}}}",
-                p.futurize, p.seconds, p.overlap_ratio
+                "    {{\"futurize\": {}, \"host_tasks\": {}, \"seconds\": {:.6}, \"overlap_ratio\": {:.4}, \"tasks_spawned\": {}, \"fused_launches\": {}}}",
+                p.futurize, p.host_tasks, p.seconds, p.overlap_ratio, p.tasks_spawned, p.fused_launches
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"hydro\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"sweep_iters\": {iters},\n  \"step_reps\": {reps},\n  \"threads\": {STEP_THREADS},\n  \"kernel_sweeps\": [\n{}\n  ],\n  \"step_modes\": [\n{}\n  ],\n  \"futurize_speedup\": {:.3}\n}}\n",
+        "{{\n  \"bench\": \"hydro\",\n  \"host_simd_isa\": \"{}\",\n  \"compiled_simd_isa\": \"{}\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"sweep_iters\": {iters},\n  \"step_reps\": {reps},\n  \"threads\": {STEP_THREADS},\n  \"kernel_sweeps\": [\n{}\n  ],\n  \"step_modes\": [\n{}\n  ],\n  \"futurize_speedup\": {:.3},\n  \"aggregate_speedup\": {:.3}\n}}\n",
+        octotiger::kernel_backend::host_simd_isa(),
+        octotiger::kernel_backend::compiled_simd_isa(),
         kernel_json.join(",\n"),
         step_json.join(",\n"),
-        step_points[0].seconds / step_points[1].seconds
+        step_points[0].seconds / step_points[1].seconds,
+        step_points[1].seconds / step_points[2].seconds
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hydro.json");
     std::fs::write(path, json).expect("write BENCH_hydro.json");

@@ -30,6 +30,6 @@ pub use parallel::{
     parallel_reduce_max, parallel_reduce_sum, parallel_scan_inclusive,
 };
 pub use policy::{MDRangePolicy, RangePolicy};
-pub use simd::{natural_width, simd_sum, Mask, Simd};
+pub use simd::{natural_width, simd_sum, sweep_packs, Mask, Simd};
 pub use space::{ExecutionSpace, HpxSpace, Serial};
 pub use view::{create_mirror, deep_copy, Layout, View};

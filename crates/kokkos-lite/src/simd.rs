@@ -284,6 +284,28 @@ impl<const W: usize> std::ops::Neg for Simd<W> {
     }
 }
 
+/// The tail-masked pack sweep every explicitly-vectorized source loop in
+/// this repo shares: walk `len` elements in `W`-lane packs, calling
+/// `pack(offset, is_tail)` for each. Full packs (`is_tail == false`) take
+/// branch-free unpadded loads; the at-most-one ragged remainder
+/// (`is_tail == true`) takes predicated loads via
+/// [`Simd::from_slice_padded`]. The gravity P2P/M2L kernels, the hydro row
+/// kernels and the work-aggregation batch kernels all drive their source
+/// streams through this one skeleton, so the full-pack/tail split — and
+/// therefore the bitwise result of a sweep — cannot drift between them.
+#[inline]
+pub fn sweep_packs<const W: usize>(len: usize, mut pack: impl FnMut(usize, bool)) {
+    let full = len / W * W;
+    let mut off = 0;
+    while off < full {
+        pack(off, false);
+        off += W;
+    }
+    if off < len {
+        pack(off, true);
+    }
+}
+
 /// Sum `data` by packs of `W` with a scalar tail — the canonical
 /// explicitly-vectorized reduction kernel; with `W = 1` this is exactly the
 /// scalar code the RISC-V boards run.
@@ -416,6 +438,78 @@ mod tests {
         let slope = x.abs().lt(y.abs()).select(x, y);
         let mm = (x * y).le(zero).select(zero, slope);
         assert_eq!(mm.0, [1.0, -2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sweep_packs_covers_every_element_exactly_once() {
+        for len in [0usize, 1, 3, 4, 7, 8, 64, 65] {
+            let mut seen = vec![0u32; len];
+            let mut tails = 0;
+            sweep_packs::<4>(len, |off, is_tail| {
+                if is_tail {
+                    tails += 1;
+                    for s in &mut seen[off..] {
+                        *s += 1;
+                    }
+                } else {
+                    for s in &mut seen[off..off + 4] {
+                        *s += 1;
+                    }
+                }
+            });
+            assert!(seen.iter().all(|&c| c == 1), "len {len}: {seen:?}");
+            assert_eq!(tails, usize::from(len % 4 != 0), "len {len}");
+        }
+    }
+
+    #[test]
+    fn sweep_packs_tail_offset_is_last_full_pack_end() {
+        let mut full_offsets = Vec::new();
+        let mut tail_off = None;
+        sweep_packs::<8>(13, |o, is_tail| {
+            if is_tail {
+                tail_off = Some(o);
+            } else {
+                full_offsets.push(o);
+            }
+        });
+        assert_eq!(full_offsets, [0]);
+        assert_eq!(tail_off, Some(8));
+        // Exact multiple: no tail call at all.
+        tail_off = None;
+        sweep_packs::<8>(16, |o, is_tail| {
+            if is_tail {
+                tail_off = Some(o);
+            }
+        });
+        assert_eq!(tail_off, None);
+    }
+
+    #[test]
+    fn sweep_packs_padded_sum_matches_scalar() {
+        // The canonical use: full packs load unpadded, the tail loads with a
+        // zero fill — the sum must match a lane-ordered scalar reference
+        // bitwise for every length.
+        let data: Vec<f64> = (0..29).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        for take in 0..data.len() {
+            let mut acc = Simd::<4>::zero();
+            sweep_packs::<4>(take, |off, is_tail| {
+                acc = acc
+                    + if is_tail {
+                        Simd::from_slice_padded(&data[..take], off, 0.0)
+                    } else {
+                        Simd::from_slice(&data[..take], off)
+                    };
+            });
+            assert_eq!(acc.reduce_sum().to_bits(), {
+                // Scalar reference accumulates in the same pack-lane order.
+                let mut lanes = [0.0f64; 4];
+                for (i, &x) in data[..take].iter().enumerate() {
+                    lanes[i % 4] += x;
+                }
+                lanes.iter().sum::<f64>().to_bits()
+            });
+        }
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub struct OctoConfig {
     /// Density threshold (relative to the star's central density) above
     /// which a region is refined.
     pub refine_density_frac: f64,
+    /// Leaves fused per near-field (P2P) gravity launch
+    /// (`--monopole_host_tasks`, the upstream `max_kernels_fused` spack
+    /// variant for the monopole family). 1 = no aggregation, bitwise the
+    /// per-leaf path.
+    pub monopole_host_tasks: usize,
+    /// Leaves fused per far-field (M2L) gravity launch
+    /// (`--multipole_host_tasks`).
+    pub multipole_host_tasks: usize,
+    /// Leaves fused per CFL/hydro launch (`--hydro_host_tasks`).
+    pub hydro_host_tasks: usize,
     /// SIMD width of the gravity kernels' inner source loops
     /// (`--simd_kernel_width`): 0 = the scalar reference path, otherwise
     /// one of 1/2/4/8 (a pack width; 1 is the RISC-V degenerate pack).
@@ -85,6 +95,9 @@ impl Default for OctoConfig {
             parcelport: NetBackend::Tcp,
             cfl: 0.4,
             refine_density_frac: 1.0e-4,
+            monopole_host_tasks: 1,
+            multipole_host_tasks: 1,
+            hydro_host_tasks: 1,
             simd_width: 4,
             use_interaction_cache: true,
             futurize: true,
@@ -137,6 +150,9 @@ impl OctoConfig {
                 "hydro_host_kernel_type" => cfg.hydro_kernel = KernelType::parse(value)?,
                 "multipole_host_kernel_type" => cfg.multipole_kernel = KernelType::parse(value)?,
                 "monopole_host_kernel_type" => cfg.monopole_kernel = KernelType::parse(value)?,
+                "monopole_host_tasks" => cfg.monopole_host_tasks = parse(key, value)?,
+                "multipole_host_tasks" => cfg.multipole_host_tasks = parse(key, value)?,
+                "hydro_host_tasks" => cfg.hydro_host_tasks = parse(key, value)?,
                 "simd_kernel_width" => {
                     cfg.simd_width = match value {
                         "scalar" => 0,
@@ -210,7 +226,25 @@ impl OctoConfig {
             ));
         }
         SimdPolicy::from_width(self.simd_width)?;
+        for (knob, v) in [
+            ("monopole_host_tasks", self.monopole_host_tasks),
+            ("multipole_host_tasks", self.multipole_host_tasks),
+            ("hydro_host_tasks", self.hydro_host_tasks),
+        ] {
+            if v == 0 {
+                return Err(format!("--{knob} must be >= 1 (1 disables aggregation)"));
+            }
+        }
         Ok(())
+    }
+
+    /// Work-aggregation batch sizes (the `--*_host_tasks` knobs).
+    pub fn aggregation(&self) -> crate::aggregate::AggregationConfig {
+        crate::aggregate::AggregationConfig {
+            monopole: self.monopole_host_tasks,
+            multipole: self.multipole_host_tasks,
+            hydro: self.hydro_host_tasks,
+        }
     }
 
     /// SIMD policy of the gravity kernels ([`OctoConfig::simd_width`]).
@@ -281,6 +315,35 @@ mod tests {
         assert!(OctoConfig::from_args(["--simd_kernel_width=3"]).is_err());
         assert!(OctoConfig::from_args(["--interaction_list_cache=maybe"]).is_err());
         assert!(OctoConfig::from_args(["--futurize=maybe"]).is_err());
+        assert!(OctoConfig::from_args(["--monopole_host_tasks=0"]).is_err());
+        assert!(OctoConfig::from_args(["--hydro_host_tasks=x"]).is_err());
+    }
+
+    #[test]
+    fn parses_aggregation_knobs() {
+        let d = OctoConfig::default();
+        assert_eq!(
+            (
+                d.monopole_host_tasks,
+                d.multipole_host_tasks,
+                d.hydro_host_tasks
+            ),
+            (1, 1, 1),
+            "aggregation is off by default: batch size 1 is the per-leaf path"
+        );
+        assert!(d.aggregation().unified_gravity());
+        let c = OctoConfig::from_args([
+            "--monopole_host_tasks=8",
+            "--multipole_host_tasks=4",
+            "--hydro_host_tasks=16",
+        ])
+        .unwrap();
+        let a = c.aggregation();
+        assert_eq!((a.monopole, a.multipole, a.hydro), (8, 4, 16));
+        assert!(
+            !a.unified_gravity(),
+            "unequal gravity sizes split the families"
+        );
     }
 
     #[test]

@@ -19,18 +19,20 @@ use amt::{Handle, Runtime};
 use apex_lite::trace::{self, Cat};
 use apex_lite::{CounterRegistry, CounterSnapshot};
 
+use crate::aggregate::{
+    self, AccelEntry, AccelSlot, AggregationRegion, AggregationStats, BatchScratchPool,
+    GravityBatchCtx, HydroBatchCtx,
+};
 use crate::config::OctoConfig;
 use crate::gravity::{
-    self, BlockSoA, CacheStats, GravityKernels, GravityWorkspace, InteractionCache, ScratchPool,
+    self, BlockSoA, CacheStats, GravityKernels, GravityWorkspace, InteractionCache,
 };
 use crate::hydro::{self, HydroStage};
 use crate::kernel_backend::Dispatch;
 use crate::octree::{NodeId, Octree};
 use crate::recycle::{PoolStats, RecyclePool};
 use crate::star::{InitialModel, RotatingStar, NF};
-use crate::subgrid::Face;
-#[cfg(test)]
-use crate::subgrid::CELLS;
+use crate::subgrid::{Face, CELLS};
 
 /// Work counters accumulated over a run — the measured quantities the
 /// `rv-machine` projection turns into per-architecture runtimes.
@@ -141,10 +143,6 @@ struct GravityHandoff {
     rebuilt: bool,
 }
 
-/// Per-leaf gravity fan-out slot: accelerations plus far/near interaction
-/// counts for work accounting.
-type AccelSlot = Mutex<Option<(Vec<[f64; 3]>, u64, u64)>>;
-
 /// The node-level simulation driver.
 pub struct Driver {
     tree: Octree,
@@ -161,34 +159,28 @@ pub struct Driver {
     gravity_ws: GravityWorkspace,
     /// Cross-step interaction-list cache keyed on tree topology.
     interaction_cache: InteractionCache,
-    /// Per-worker gravity scratch buffers (far table + block accumulators).
-    scratch: ScratchPool,
+    /// Recycled batch-fused gravity streams (far tables + near mega-stream).
+    batch_scratch: BatchScratchPool,
+    /// Work-aggregation seal/launch counters
+    /// (`/work/aggregation/…`).
+    agg: AggregationStats,
 }
 
-/// Map every leaf through `f` in parallel (one task per leaf — the paper's
-/// per-sub-grid kernel launches).
+/// Map every leaf through `f` in parallel (one task per leaf). Still used
+/// by the ghost exchange; the compute phases fan out through the
+/// aggregation regions instead.
 fn par_map_leaves<T, F>(handle: &Handle, tree: &Octree, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(NodeId) -> T + Send + Sync,
 {
-    par_map_leaves_indexed(handle, tree, |_, leaf| f(leaf))
-}
-
-/// [`par_map_leaves`] with the leaf's position in `tree.leaf_ids()` passed
-/// to the kernel — what per-leaf slot arrays are indexed by.
-fn par_map_leaves_indexed<T, F>(handle: &Handle, tree: &Octree, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize, NodeId) -> T + Send + Sync,
-{
     let leaves = tree.leaf_ids();
     let mut out: Vec<Option<T>> = (0..leaves.len()).map(|_| None).collect();
     scope(handle, |sc| {
-        for (idx, (slot, &leaf)) in out.iter_mut().zip(leaves).enumerate() {
+        for (slot, &leaf) in out.iter_mut().zip(leaves) {
             let f = &f;
             sc.spawn(move || {
-                *slot = Some(f(idx, leaf));
+                *slot = Some(f(leaf));
             });
         }
     });
@@ -218,7 +210,8 @@ impl Driver {
             overlap: OverlapTotals::default(),
             gravity_ws: GravityWorkspace::new(),
             interaction_cache: InteractionCache::new(),
-            scratch: ScratchPool::new(),
+            batch_scratch: BatchScratchPool::new(),
+            agg: AggregationStats::new(),
         }
     }
 
@@ -268,51 +261,67 @@ impl Driver {
 
     /// The barriered step: ghost → CFL → gravity → hydro, each phase a full
     /// task barrier (the seed's structure, kept as the `--futurize=off`
-    /// ablation the bench compares against).
+    /// ablation the bench compares against). Each phase fans out through an
+    /// [`AggregationRegion`], so one task covers `--*_host_tasks` leaves;
+    /// batch size 1 reproduces the per-leaf launches bitwise.
     fn step_barriered(&mut self, runtime: &Runtime) -> f64 {
         let handle = runtime.handle();
         let hydro_dispatch = Dispatch::new(self.config.hydro_kernel, &handle, 4);
         let multipole_dispatch = Dispatch::new(self.config.multipole_kernel, &handle, 4);
         let monopole_dispatch = Dispatch::new(self.config.monopole_kernel, &handle, 4);
         let policy = self.config.simd_policy();
+        let agg_cfg = self.config.aggregation();
 
         // 1. Ghost exchange.
         let leaves: Vec<NodeId> = self.tree.leaf_ids().to_vec();
         self.exchange_ghosts(&handle, &leaves);
+        let n = leaves.len();
+
+        let hctx = HydroBatchCtx {
+            tree: &self.tree,
+            leaves: &leaves,
+            dispatch: &hydro_dispatch,
+            policy,
+            state_pool: &self.pool,
+            stage_pool: &self.stage_pool,
+        };
 
         // 2. CFL time step (global max-signal-speed reduction). A vector
         //    policy also builds each leaf's SoA staging view here; the tree
         //    is immutable until the apply phase, so the hydro kernel below
         //    reuses it instead of staging twice.
         let cfl_span = trace::span(Cat::Phase, "cfl_reduction");
-        let (speeds, stages): (Vec<f64>, Vec<Option<HydroStage>>) = {
-            let tree = &self.tree;
-            let d = &hydro_dispatch;
-            let stage_pool = &self.stage_pool;
-            par_map_leaves(&handle, tree, |leaf| {
-                let g = tree.subgrid(leaf);
-                let (speed, stage) = hydro::max_signal_speed_policy(g, d, policy, stage_pool);
-                (speed / g.dx, stage)
-            })
-            .into_iter()
-            .unzip()
-        };
-        let max_rate = speeds.iter().copied().fold(1e-30_f64, f64::max);
+        let speeds: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let stage_slots: Vec<Mutex<Option<HydroStage>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        aggregate::for_each_batch(&handle, n, agg_cfg.hydro, &self.agg, |_, batch| {
+            aggregate::run_cfl_batch(&hctx, batch, false, &speeds, &stage_slots)
+        });
+        let max_rate = speeds
+            .iter()
+            .map(|s| f64::from_bits(s.load(Ordering::Acquire)))
+            .fold(1e-30_f64, f64::max);
         let dt = self.config.cfl / max_rate;
         drop(cfl_span);
 
-        // 3. Gravity: P2M (parallel) → M2M (serial, recycled workspace) →
-        //    interaction lists (cached across steps) → FMM kernels
-        //    (parallel, pooled scratch).
+        // 3. Gravity: P2M (batched) → M2M (serial, recycled workspace) →
+        //    interaction lists (cached across steps) → FMM kernels (batched
+        //    fused streams, recycled batch scratch).
         let g_env = Envelope::new();
         let h_env = Envelope::new();
         let gravity_span = trace::span(Cat::Phase, "gravity_solve");
-        let blocks: Vec<BlockSoA> = {
+        let block_slots: Vec<Mutex<Option<BlockSoA>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        {
             let tree = &self.tree;
-            par_map_leaves(&handle, tree, |leaf| {
-                gravity::compute_blocks(tree.subgrid(leaf))
-            })
-        };
+            let leaves = &leaves;
+            aggregate::for_each_batch(&handle, n, agg_cfg.multipole, &self.agg, |_, batch| {
+                aggregate::run_p2m_batch(tree, leaves, batch, false, &block_slots)
+            });
+        }
+        let blocks: Vec<BlockSoA> = block_slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("block slot").expect("p2m done"))
+            .collect();
         self.gravity_ws.upward_pass(&self.tree, &blocks);
         if !self.config.use_interaction_cache {
             // Cache-off ablation: force the dual traversal every step.
@@ -321,77 +330,77 @@ impl Driver {
         let rebuilt =
             self.interaction_cache
                 .ensure(&self.tree, &self.gravity_ws.moments, self.config.theta);
-        let accels = {
-            let tree = &self.tree;
-            let blocks = &blocks;
-            let ws = &self.gravity_ws;
-            let lists = self.interaction_cache.lists();
-            let scratch_pool = &self.scratch;
+        let accel_slots: Vec<AccelSlot> = (0..n).map(|_| Mutex::new(None)).collect();
+        {
             let kernels = GravityKernels {
                 multipole: &multipole_dispatch,
                 monopole: &monopole_dispatch,
                 simd: policy,
             };
-            let kernels = &kernels;
+            let gctx = GravityBatchCtx {
+                tree: &self.tree,
+                moments: &self.gravity_ws.moments,
+                blocks: &blocks,
+                leaf_pos: &self.gravity_ws.leaf_pos,
+                leaves: &leaves,
+                lists: self.interaction_cache.lists(),
+                kernels: &kernels,
+                scratch: &self.batch_scratch,
+            };
             let g_env = &g_env;
-            par_map_leaves(&handle, tree, |leaf| {
-                let t0 = trace::now_ns();
-                let (far, near) = &lists[ws.leaf_pos[leaf]];
-                let mut scratch = scratch_pool.take();
-                let acc = gravity::accel_for_leaf_with(
-                    tree,
-                    &ws.moments,
-                    blocks,
-                    &ws.leaf_pos,
-                    leaf,
-                    far,
-                    near,
-                    kernels,
-                    &mut scratch,
-                );
-                scratch_pool.put(scratch);
-                g_env.record(t0, trace::now_ns());
-                (acc, far.len() as u64, near.len() as u64)
-            })
-        };
+            aggregate::run_gravity_stage(
+                &handle,
+                &gctx,
+                agg_cfg,
+                &self.agg,
+                false,
+                &|s, e| g_env.record(s, e),
+                &accel_slots,
+            );
+        }
+        let accels: Vec<AccelEntry> = accel_slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("accel slot").expect("gravity done"))
+            .collect();
         drop(gravity_span);
 
-        // 4. Hydro kernels (parallel, pure), output and staging buffers
-        //    recycled via the cppuddle-style pools.
+        // 4. Hydro kernels (batched, pure): each batch writes one fused
+        //    state buffer — a batch-sized class of the recycle pool.
         let hydro_span = trace::span(Cat::Phase, "hydro_step");
-        let stage_slots: Vec<Mutex<Option<HydroStage>>> =
-            stages.into_iter().map(Mutex::new).collect();
-        let new_states = {
-            let tree = &self.tree;
-            let d = &hydro_dispatch;
-            let pool = &self.pool;
-            let stage_pool = &self.stage_pool;
-            let stage_slots = &stage_slots;
+        let n_hydro_batches = AggregationRegion::batch_count(n, agg_cfg.hydro);
+        let batch_states: Vec<Mutex<Option<Vec<[f64; NF]>>>> =
+            (0..n_hydro_batches).map(|_| Mutex::new(None)).collect();
+        {
             let h_env = &h_env;
-            par_map_leaves_indexed(&handle, tree, |idx, leaf| {
-                let t0 = trace::now_ns();
-                let stage = stage_slots[idx].lock().expect("stage slot").take();
-                let out = hydro::step_interior_staged(
-                    tree.subgrid(leaf),
-                    stage,
+            let (hctx, stage_slots, batch_states) = (&hctx, &stage_slots, &batch_states);
+            aggregate::for_each_batch(&handle, n, agg_cfg.hydro, &self.agg, |bid, batch| {
+                aggregate::run_hydro_batch(
+                    hctx,
+                    batch,
                     dt,
-                    d,
-                    policy,
-                    pool,
-                    stage_pool,
-                );
-                h_env.record(t0, trace::now_ns());
-                out
-            })
-        };
-
-        // 5. Apply hydro update + gravity source terms.
-        for ((&leaf, state), (acc, _, _)) in leaves.iter().zip(new_states).zip(&accels) {
-            let grid = self.tree.subgrid_mut(leaf);
-            hydro::apply_interior(grid, &state);
-            hydro::apply_gravity_source(grid, acc, dt);
-            self.pool.release(state);
+                    false,
+                    &|s, e| h_env.record(s, e),
+                    stage_slots,
+                    &batch_states[bid],
+                )
+            });
         }
+
+        // 5. Apply hydro update + gravity source terms: walk the fused
+        //    buffers in batch order and slice leaves back out — the same
+        //    leaf order (and the same bits) as the per-leaf apply.
+        let mut pos = 0usize;
+        for slot in batch_states {
+            let fused = slot.into_inner().expect("state slot").expect("hydro done");
+            for k in 0..fused.len() / CELLS {
+                let grid = self.tree.subgrid_mut(leaves[pos]);
+                hydro::apply_interior(grid, &fused[k * CELLS..(k + 1) * CELLS]);
+                hydro::apply_gravity_source(grid, &accels[pos].0, dt);
+                pos += 1;
+            }
+            self.pool.release(fused);
+        }
+        assert_eq!(pos, n, "fused batches cover every leaf exactly once");
         drop(hydro_span);
 
         self.accumulate_overlap(&g_env, &h_env);
@@ -404,20 +413,22 @@ impl Driver {
     /// barriers, expressed as *continuations* — no task ever blocks on a
     /// condition another task must produce (a help-stealing waiter could
     /// end up nested above its own producer on one stack and deadlock).
-    /// Instead, the last leaf task of each root phase to retire runs the
-    /// serial join and fans the dependent leaf tasks out in a nested scope:
+    /// Instead, the last *batch* task of each root phase to retire runs the
+    /// serial join and fans the dependent batch tasks out in a nested
+    /// scope (the aggregation regions seal batches of `--*_host_tasks`
+    /// leaves; batch size 1 degenerates to the per-leaf graph):
     ///
     /// ```text
-    /// per-leaf cfl  ──last──► dt reduction ──► per-leaf hydro
-    /// per-leaf p2m  ──last──► M2M + lists  ──► per-leaf gravity
+    /// cfl batches  ──last──► dt reduction ──► hydro batches
+    /// p2m batches  ──last──► M2M + lists  ──► gravity batches
     /// ```
     ///
-    /// Each leaf's hydro task needs only the global `dt`; gravity M2L for
-    /// one leaf overlaps hydro on others, and the *serial* M2M/list pass is
-    /// hidden behind per-leaf CFL/hydro work — the paper's HPX futurization
-    /// argument at sub-grid granularity. The task set, per-task arithmetic
-    /// and the serial apply order are identical to the barriered step, so
-    /// the states match bitwise.
+    /// Each hydro batch needs only the global `dt`; a gravity batch
+    /// overlaps hydro batches on other workers, and the *serial* M2M/list
+    /// pass is hidden behind CFL/hydro work — the paper's HPX futurization
+    /// argument at sub-grid granularity. The per-leaf arithmetic and the
+    /// serial apply order are identical to the barriered step, so the
+    /// states match bitwise at every batch size.
     fn step_futurized(&mut self, runtime: &Runtime) -> f64 {
         let handle = runtime.handle();
         let hydro_dispatch = Dispatch::new(self.config.hydro_kernel, &handle, 4);
@@ -426,10 +437,13 @@ impl Driver {
         let policy = self.config.simd_policy();
         let cfl_factor = self.config.cfl;
         let theta = self.config.theta;
+        let agg_cfg = self.config.aggregation();
 
         let leaves: Vec<NodeId> = self.tree.leaf_ids().to_vec();
         self.exchange_ghosts(&handle, &leaves);
         let n = leaves.len();
+        let n_hydro_batches = AggregationRegion::batch_count(n, agg_cfg.hydro);
+        let n_p2m_batches = AggregationRegion::batch_count(n, agg_cfg.multipole);
 
         if !self.config.use_interaction_cache {
             self.interaction_cache.invalidate();
@@ -448,10 +462,14 @@ impl Driver {
             (0..n).map(|_| Mutex::new(None)).collect();
         let block_slots: Vec<Mutex<Option<BlockSoA>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let accel_slots: Vec<AccelSlot> = (0..n).map(|_| Mutex::new(None)).collect();
-        let state_slots: Vec<Mutex<Option<Vec<[f64; NF]>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
-        let cfl_remaining = AtomicU64::new(n as u64);
-        let p2m_remaining = AtomicU64::new(n as u64);
+        let batch_states: Vec<Mutex<Option<Vec<[f64; NF]>>>> =
+            (0..n_hydro_batches).map(|_| Mutex::new(None)).collect();
+        // The continuation counters count *batches*, not leaves: the last
+        // CFL batch to retire runs the dt reduction, the last P2M batch
+        // runs the moments pass — the coalescer's seal-on-flush idiom
+        // applied to the task graph's joins.
+        let cfl_remaining = AtomicU64::new(n_hydro_batches as u64);
+        let p2m_remaining = AtomicU64::new(n_p2m_batches as u64);
         let dt_bits = AtomicU64::new(0);
         let published: OnceLock<GravityHandoff> = OnceLock::new();
         let g_env = Envelope::new();
@@ -459,43 +477,51 @@ impl Driver {
 
         {
             let tree = &self.tree;
-            let state_pool = &self.pool;
-            let stage_pool = &self.stage_pool;
-            let scratch_pool = &self.scratch;
             let kernels = GravityKernels {
                 multipole: &multipole_dispatch,
                 monopole: &monopole_dispatch,
                 simd: policy,
             };
             let kernels = &kernels;
-            let hydro_d = &hydro_dispatch;
+            let hctx = HydroBatchCtx {
+                tree,
+                leaves: &leaves,
+                dispatch: &hydro_dispatch,
+                policy,
+                state_pool: &self.pool,
+                stage_pool: &self.stage_pool,
+            };
+            let hctx = &hctx;
+            let batch_scratch = &self.batch_scratch;
+            let agg = &self.agg;
             let handle_ref = &handle;
             let leaves_ref = &leaves;
             let (speeds, stage_slots, block_slots) = (&speeds, &stage_slots, &block_slots);
-            let (accel_slots, state_slots) = (&accel_slots, &state_slots);
+            let (accel_slots, batch_states) = (&accel_slots, &batch_states);
             let (cfl_remaining, p2m_remaining) = (&cfl_remaining, &p2m_remaining);
             let (dt_bits, published, gravity_state) = (&dt_bits, &published, &gravity_state);
-            let (g_env, h_env) = (&g_env, &h_env);
+            let g_record: &(dyn Fn(u64, u64) + Sync) = &|s, e| g_env.record(s, e);
+            let h_record: &(dyn Fn(u64, u64) + Sync) = &|s, e| h_env.record(s, e);
 
             scope(&handle, |sc| {
-                // Roots of the graph: per-leaf CFL speed (+ SoA staging) and
-                // per-leaf P2M moments — no dependencies, all runnable now.
-                for (idx, &leaf) in leaves.iter().enumerate() {
+                // Roots of the graph: CFL batches and P2M batches — no
+                // dependencies, all runnable now. The regions seal full
+                // batches as the index streams through and flush the ragged
+                // tails; each sealed batch is one spawned task covering
+                // `--*_host_tasks` leaves.
+                let spawn_cfl = |batch: Vec<usize>| {
                     sc.spawn(move || {
                         {
-                            let _span = trace::span(Cat::Phase, "cfl_leaf");
-                            let g = tree.subgrid(leaf);
-                            let (speed, stage) =
-                                hydro::max_signal_speed_policy(g, hydro_d, policy, stage_pool);
-                            speeds[idx].store((speed / g.dx).to_bits(), Ordering::Release);
-                            *stage_slots[idx].lock().expect("stage slot") = stage;
+                            let _launch = aggregate::launch_span(agg_cfg.hydro);
+                            aggregate::run_cfl_batch(hctx, &batch, true, speeds, stage_slots);
                         }
                         if cfl_remaining.fetch_sub(1, Ordering::SeqCst) != 1 {
                             return;
                         }
-                        // Continuation of the last CFL task: global dt
+                        // Continuation of the last CFL batch: global dt
                         // (deterministic leaf-order fold, identical to the
-                        // barriered reduction), then the hydro fan-out.
+                        // barriered reduction), then the hydro batch
+                        // fan-out.
                         let dt = {
                             let _span = trace::span(Cat::Phase, "cfl_reduction");
                             let max_rate = speeds
@@ -506,42 +532,45 @@ impl Driver {
                         };
                         dt_bits.store(dt.to_bits(), Ordering::Release);
                         scope(handle_ref, |hsc| {
-                            for (hidx, &hleaf) in leaves_ref.iter().enumerate() {
+                            let mut region = AggregationRegion::new(agg_cfg.hydro, agg);
+                            let spawn_hydro = |(bid, hbatch): (usize, Vec<usize>)| {
                                 hsc.spawn(move || {
-                                    let t0 = trace::now_ns();
-                                    let _span = trace::span(Cat::Phase, "hydro_step");
-                                    let stage =
-                                        stage_slots[hidx].lock().expect("stage slot").take();
-                                    let out = hydro::step_interior_staged(
-                                        tree.subgrid(hleaf),
-                                        stage,
+                                    let _launch = aggregate::launch_span(agg_cfg.hydro);
+                                    aggregate::run_hydro_batch(
+                                        hctx,
+                                        &hbatch,
                                         dt,
-                                        hydro_d,
-                                        policy,
-                                        state_pool,
-                                        stage_pool,
+                                        true,
+                                        h_record,
+                                        stage_slots,
+                                        &batch_states[bid],
                                     );
-                                    *state_slots[hidx].lock().expect("state slot") = Some(out);
-                                    h_env.record(t0, trace::now_ns());
                                 });
+                            };
+                            for idx in 0..leaves_ref.len() {
+                                if let Some(sealed) = region.push(idx) {
+                                    spawn_hydro(sealed);
+                                }
+                            }
+                            if let Some(sealed) = region.flush() {
+                                spawn_hydro(sealed);
                             }
                         });
                     });
-                }
-                for (idx, &leaf) in leaves.iter().enumerate() {
+                };
+                let spawn_p2m = |batch: Vec<usize>| {
                     sc.spawn(move || {
                         {
-                            let _span = trace::span(Cat::Phase, "p2m_leaf");
-                            *block_slots[idx].lock().expect("block slot") =
-                                Some(gravity::compute_blocks(tree.subgrid(leaf)));
+                            let _launch = aggregate::launch_span(agg_cfg.multipole);
+                            aggregate::run_p2m_batch(tree, leaves_ref, &batch, true, block_slots);
                         }
                         if p2m_remaining.fetch_sub(1, Ordering::SeqCst) != 1 {
                             return;
                         }
-                        // Continuation of the last P2M task: the barriered
+                        // Continuation of the last P2M batch: the barriered
                         // step's serial M2M + interaction-list section (now
                         // hidden behind CFL/hydro work on other workers),
-                        // then the gravity fan-out.
+                        // then the aggregated gravity fan-out.
                         let (mut ws, mut cache) = gravity_state
                             .lock()
                             .expect("gravity state")
@@ -557,32 +586,25 @@ impl Driver {
                             cache.ensure(tree, &ws.moments, theta)
                         };
                         {
-                            let (ws, cache, blocks) = (&ws, &cache, &blocks);
-                            scope(handle_ref, |gsc| {
-                                for (gidx, &gleaf) in leaves_ref.iter().enumerate() {
-                                    gsc.spawn(move || {
-                                        let t0 = trace::now_ns();
-                                        let _span = trace::span(Cat::Phase, "gravity_solve");
-                                        let (far, near) = &cache.lists()[ws.leaf_pos[gleaf]];
-                                        let mut scratch = scratch_pool.take();
-                                        let acc = gravity::accel_for_leaf_with(
-                                            tree,
-                                            &ws.moments,
-                                            blocks,
-                                            &ws.leaf_pos,
-                                            gleaf,
-                                            far,
-                                            near,
-                                            kernels,
-                                            &mut scratch,
-                                        );
-                                        scratch_pool.put(scratch);
-                                        *accel_slots[gidx].lock().expect("accel slot") =
-                                            Some((acc, far.len() as u64, near.len() as u64));
-                                        g_env.record(t0, trace::now_ns());
-                                    });
-                                }
-                            });
+                            let gctx = GravityBatchCtx {
+                                tree,
+                                moments: &ws.moments,
+                                blocks: &blocks,
+                                leaf_pos: &ws.leaf_pos,
+                                leaves: leaves_ref,
+                                lists: cache.lists(),
+                                kernels,
+                                scratch: batch_scratch,
+                            };
+                            aggregate::run_gravity_stage(
+                                handle_ref,
+                                &gctx,
+                                agg_cfg,
+                                agg,
+                                true,
+                                g_record,
+                                accel_slots,
+                            );
                         }
                         let handoff = GravityHandoff { ws, cache, rebuilt };
                         assert!(
@@ -590,6 +612,24 @@ impl Driver {
                             "gravity continuation publishes exactly once"
                         );
                     });
+                };
+                let mut cfl_region = AggregationRegion::new(agg_cfg.hydro, agg);
+                for idx in 0..n {
+                    if let Some((_, batch)) = cfl_region.push(idx) {
+                        spawn_cfl(batch);
+                    }
+                }
+                if let Some((_, batch)) = cfl_region.flush() {
+                    spawn_cfl(batch);
+                }
+                let mut p2m_region = AggregationRegion::new(agg_cfg.multipole, agg);
+                for idx in 0..n {
+                    if let Some((_, batch)) = p2m_region.push(idx) {
+                        spawn_p2m(batch);
+                    }
+                }
+                if let Some((_, batch)) = p2m_region.flush() {
+                    spawn_p2m(batch);
                 }
             });
         }
@@ -601,21 +641,24 @@ impl Driver {
         let rebuilt = handoff.rebuilt;
         let dt = f64::from_bits(dt_bits.load(Ordering::Acquire));
 
-        // Serial apply, identical order to the barriered step.
-        let accels: Vec<(Vec<[f64; 3]>, u64, u64)> = accel_slots
+        // Serial apply, identical order to the barriered step: walk the
+        // fused hydro buffers in batch order and slice leaves back out.
+        let accels: Vec<AccelEntry> = accel_slots
             .into_iter()
             .map(|m| m.into_inner().expect("accel slot").expect("gravity done"))
             .collect();
-        for ((&leaf, state_slot), (acc, _, _)) in leaves.iter().zip(state_slots).zip(&accels) {
-            let state = state_slot
-                .into_inner()
-                .expect("state slot")
-                .expect("hydro done");
-            let grid = self.tree.subgrid_mut(leaf);
-            hydro::apply_interior(grid, &state);
-            hydro::apply_gravity_source(grid, acc, dt);
-            self.pool.release(state);
+        let mut pos = 0usize;
+        for slot in batch_states {
+            let fused = slot.into_inner().expect("state slot").expect("hydro done");
+            for k in 0..fused.len() / CELLS {
+                let grid = self.tree.subgrid_mut(leaves[pos]);
+                hydro::apply_interior(grid, &fused[k * CELLS..(k + 1) * CELLS]);
+                hydro::apply_gravity_source(grid, &accels[pos].0, dt);
+                pos += 1;
+            }
+            self.pool.release(fused);
         }
+        assert_eq!(pos, n, "fused batches cover every leaf exactly once");
 
         self.accumulate_overlap(&g_env, &h_env);
         self.account_step(&leaves, &accels, rebuilt);
@@ -792,6 +835,16 @@ impl Driver {
         snap.set_count("/work/ghost_slab_bytes", self.work.ghost_slab_bytes);
         snap.set_count("/runtime/overlap_ns", self.overlap.overlap_ns);
         snap.set_gauge("/runtime/overlap_ratio", self.overlap_ratio());
+        let agg = self.agg.snapshot();
+        snap.set_count("/work/aggregation/fused_launches", agg.fused_launches);
+        snap.set_count("/work/aggregation/seals_on_full", agg.seals_on_full);
+        snap.set_count("/work/aggregation/seals_on_flush", agg.seals_on_flush);
+        snap.set_gauge("/work/aggregation/batch_size_avg", agg.batch_size_avg());
+    }
+
+    /// Work-aggregation seal/launch counters accumulated so far.
+    pub fn aggregation_stats(&self) -> crate::aggregate::AggregationSnapshot {
+        self.agg.snapshot()
     }
 
     /// Fraction of the shorter kernel family's wall-clock envelope that
@@ -950,6 +1003,24 @@ mod tests {
             m_off.work.mac_evals > m.work.mac_evals,
             "cache hits must not be billed MAC evaluations"
         );
+    }
+
+    #[test]
+    fn noop_refine_keeps_cache_warm() {
+        // Refining an already-refined node must not bump the topology
+        // generation, so the interaction-list cache survives.
+        let mut d = Driver::new(tiny_config(KernelType::KokkosSerial));
+        let rt = Runtime::new(2);
+        d.step(&rt);
+        let victim = d.tree().leaf_ids()[0];
+        let kids = d.refine_leaf(victim);
+        d.step(&rt); // miss: topology changed
+        let gen = d.tree().generation();
+        assert_eq!(d.refine_leaf(victim), kids, "no-op refine returns children");
+        assert_eq!(d.tree().generation(), gen);
+        d.step(&rt); // hit: the cache must still be valid
+        assert_eq!(d.cache_stats().misses, 2);
+        assert_eq!(d.cache_stats().hits, 1);
     }
 
     #[test]

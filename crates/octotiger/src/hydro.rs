@@ -10,7 +10,7 @@
 //! [`Dispatch`](crate::kernel_backend::Dispatch), so the same physics runs
 //! as legacy loops, Kokkos-Serial or Kokkos-HPX.
 
-use kokkos_lite::simd::Simd;
+use kokkos_lite::simd::{sweep_packs, Simd};
 
 use crate::kernel_backend::{Dispatch, SimdPolicy};
 use crate::recycle::RecyclePool;
@@ -175,9 +175,17 @@ fn step_into(
     dispatch: &Dispatch,
     mut out: Vec<[f64; NF]>,
 ) -> Vec<[f64; NF]> {
+    step_into_slice(sub, dt, dispatch, &mut out);
+    out
+}
+
+/// Scalar hydro update written into a caller-provided `CELLS`-sized slice —
+/// the entry the work-aggregation executor uses to land several leaves'
+/// updates in one fused batch buffer.
+fn step_into_slice(sub: &SubGrid, dt: f64, dispatch: &Dispatch, out: &mut [[f64; NF]]) {
     let lambda = dt / sub.dx;
     debug_assert_eq!(out.len(), CELLS);
-    dispatch.fill(&mut out, |c| {
+    dispatch.fill(out, |c| {
         let (i, j, k) = cell_coords(c);
         let mut u = [0.0; NF];
         for (f, slot) in u.iter_mut().enumerate() {
@@ -205,7 +213,6 @@ fn step_into(
         u[field::EGAS] = u[field::EGAS].max(kinetic + P_FLOOR / (GAMMA - 1.0));
         u
     });
-    out
 }
 
 // ---------------------------------------------------------------------------
@@ -385,13 +392,15 @@ fn face_flux_v<const W: usize>(stage: &HydroStage, axis: usize, at: usize) -> [S
     hll_flux_v(&left, &right, axis)
 }
 
-fn step_rows_simd<const W: usize>(
+/// SIMD hydro row kernel written into a caller-provided `CELLS`-sized slice
+/// (see [`step_into_slice`] for why the slice form exists).
+fn step_rows_simd_slice<const W: usize>(
     sub: &SubGrid,
     stage: &HydroStage,
     dt: f64,
     dispatch: &Dispatch,
-    mut out: Vec<[f64; NF]>,
-) -> Vec<[f64; NF]> {
+    out: &mut [[f64; NF]],
+) {
     debug_assert_eq!(out.len(), CELLS);
     // NX = 8 is divisible by every supported width, so there are no tail
     // packs; Simd<1> is the degenerate scalar pack for completeness.
@@ -403,11 +412,12 @@ fn step_rows_simd<const W: usize>(
     };
     let lambda = Simd::<W>::splat(dt / sub.dx);
     let u_all = sub.u.as_slice();
-    dispatch.fill_rows(&mut out, NX, |row, chunk| {
+    dispatch.fill_rows(out, NX, |row, chunk| {
         let i = row / NX;
         let j = row % NX;
         let at0 = stage_index(i, j, 0);
-        for k0 in (0..NX).step_by(W) {
+        sweep_packs::<W>(NX, |k0, is_tail| {
+            debug_assert!(!is_tail, "NX is a multiple of every pack width");
             let at = at0 + k0;
             let mut u = [Simd::<W>::zero(); NF];
             for (f, slot) in u.iter_mut().enumerate() {
@@ -436,9 +446,8 @@ fn step_rows_simd<const W: usize>(
                     cell[f] = uf.extract(lane);
                 }
             }
-        }
+        });
     });
-    out
 }
 
 fn max_signal_speed_stage_w<const W: usize>(stage: &HydroStage) -> f64 {
@@ -452,11 +461,12 @@ fn max_signal_speed_stage_w<const W: usize>(stage: &HydroStage) -> f64 {
     for i in 0..NX {
         for j in 0..NX {
             let at0 = stage_index(i, j, 0);
-            for k0 in (0..NX).step_by(W) {
+            sweep_packs::<W>(NX, |k0, is_tail| {
+                debug_assert!(!is_tail, "NX is a multiple of every pack width");
                 let [rho, vx, vy, vz, p] = load_prims::<W>(stage, at0 + k0);
                 let cs = sound_speed_v(rho, p);
                 acc = acc.max(vx.abs().max(vy.abs()).max(vz.abs()) + cs);
-            }
+            });
         }
     }
     acc.reduce_max()
@@ -509,27 +519,45 @@ pub fn step_interior_staged(
     state_pool: &RecyclePool<[f64; NF]>,
     stage_pool: &RecyclePool<f64>,
 ) -> Vec<[f64; NF]> {
+    let mut out = state_pool.acquire(CELLS);
+    step_interior_staged_into(sub, stage, dt, dispatch, policy, &mut out, stage_pool);
+    out
+}
+
+/// [`step_interior_staged`] writing into a caller-provided `CELLS`-sized
+/// slice. The work-aggregation executor points this at one leaf's segment
+/// of a batch-fused state buffer: the per-leaf arithmetic is untouched, so
+/// the fused buffer's contents are bitwise-identical to the per-leaf
+/// buffers it replaces.
+pub fn step_interior_staged_into(
+    sub: &SubGrid,
+    stage: Option<HydroStage>,
+    dt: f64,
+    dispatch: &Dispatch,
+    policy: SimdPolicy,
+    out: &mut [[f64; NF]],
+    stage_pool: &RecyclePool<f64>,
+) {
     match policy {
         SimdPolicy::Scalar => {
             if let Some(st) = stage {
                 st.release(stage_pool);
             }
-            step_into(sub, dt, dispatch, state_pool.acquire(CELLS))
+            step_into_slice(sub, dt, dispatch, out);
         }
         SimdPolicy::Width(w) => {
             let st = match stage {
                 Some(st) => st,
                 None => HydroStage::build(sub, stage_pool),
             };
-            let out = match w {
-                1 => step_rows_simd::<1>(sub, &st, dt, dispatch, state_pool.acquire(CELLS)),
-                2 => step_rows_simd::<2>(sub, &st, dt, dispatch, state_pool.acquire(CELLS)),
-                4 => step_rows_simd::<4>(sub, &st, dt, dispatch, state_pool.acquire(CELLS)),
-                8 => step_rows_simd::<8>(sub, &st, dt, dispatch, state_pool.acquire(CELLS)),
+            match w {
+                1 => step_rows_simd_slice::<1>(sub, &st, dt, dispatch, out),
+                2 => step_rows_simd_slice::<2>(sub, &st, dt, dispatch, out),
+                4 => step_rows_simd_slice::<4>(sub, &st, dt, dispatch, out),
+                8 => step_rows_simd_slice::<8>(sub, &st, dt, dispatch, out),
                 other => panic!("unsupported SIMD width {other}"),
-            };
+            }
             st.release(stage_pool);
-            out
         }
     }
 }

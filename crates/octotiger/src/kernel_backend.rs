@@ -117,6 +117,67 @@ impl Default for SimdPolicy {
     }
 }
 
+/// Widest vector extension the *host CPU* supports, detected at runtime.
+///
+/// Bench JSON headers record this next to [`compiled_simd_isa`] so a
+/// baseline series mixing machines (or build flags) is self-describing —
+/// the paper's Fig. 6/7 cross-ISA comparison depends on knowing which
+/// vector unit actually executed.
+pub fn host_simd_isa() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            "avx512f"
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            "avx2"
+        } else if std::arch::is_x86_feature_detected!("avx") {
+            "avx"
+        } else {
+            "sse2"
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        "neon"
+    }
+    #[cfg(target_arch = "riscv64")]
+    {
+        // No stable runtime probe for the V extension; report the arch and
+        // let `compiled_simd_isa` carry the build-time answer.
+        "riscv64"
+    }
+    #[cfg(not(any(
+        target_arch = "x86_64",
+        target_arch = "aarch64",
+        target_arch = "riscv64"
+    )))]
+    {
+        "unknown"
+    }
+}
+
+/// Widest vector extension this *binary was compiled for* (`cfg!` — i.e.
+/// what `-C target-cpu`/`-C target-feature` enabled). When this lags
+/// [`host_simd_isa`], wide `Simd<f64, 8>` packs lower to split narrow ops;
+/// the committed benches record both so W8-vs-W4 numbers are interpretable.
+pub fn compiled_simd_isa() -> &'static str {
+    if cfg!(target_feature = "avx512f") {
+        "avx512f"
+    } else if cfg!(target_feature = "avx2") {
+        "avx2"
+    } else if cfg!(target_feature = "avx") {
+        "avx"
+    } else if cfg!(target_feature = "sse2") {
+        "sse2"
+    } else if cfg!(target_feature = "neon") {
+        "neon"
+    } else if cfg!(target_feature = "v") {
+        "rvv"
+    } else {
+        "baseline"
+    }
+}
+
 /// Runtime dispatcher for one kernel backend. Built once per run from the
 /// configured [`KernelType`]; all Octo-Tiger kernels (hydro, multipole,
 /// monopole) funnel their per-cell loops through it, so switching the CLI
@@ -312,6 +373,19 @@ mod tests {
         assert_eq!(SimdPolicy::default(), SimdPolicy::Width(4));
         assert_eq!(SimdPolicy::Scalar.label(), "scalar");
         assert_eq!(SimdPolicy::Width(4).label(), "simd4");
+    }
+
+    #[test]
+    fn simd_isa_probes_return_known_tokens() {
+        let known = [
+            "avx512f", "avx2", "avx", "sse2", "neon", "riscv64", "rvv", "baseline", "unknown",
+        ];
+        assert!(known.contains(&host_simd_isa()), "{}", host_simd_isa());
+        assert!(
+            known.contains(&compiled_simd_isa()),
+            "{}",
+            compiled_simd_isa()
+        );
     }
 
     #[test]

@@ -136,7 +136,15 @@ impl Octree {
     /// now-too-coarse neighbour leaves the same way, bump the topology
     /// generation and re-collect the leaf order. Returns the 8 children of
     /// `leaf`.
+    ///
+    /// Refining an already-refined node is a no-op: the existing children
+    /// are returned and the generation counter is *not* bumped, so cached
+    /// topology-derived data (the interaction lists) stays valid instead of
+    /// being discarded for a refinement that changed nothing.
     pub fn refine_leaf(&mut self, leaf: NodeId) -> [NodeId; 8] {
+        if let Some(kids) = self.nodes[leaf].children {
+            return kids;
+        }
         let kids = self.refine_leaf_with_data(leaf);
         // Restore grading: every refined node's same-level face neighbours
         // must exist; refine covering leaves (with data) until they do.
@@ -777,6 +785,28 @@ mod tests {
         // did (piecewise constant).
         let sampled = t.sample(field::RHO, [-0.9, -0.9, -0.9]);
         assert!(sampled >= 0.0);
+    }
+
+    #[test]
+    fn refine_of_already_refined_node_is_a_noop() {
+        // Regression: a no-op refine used to panic (the node no longer
+        // carries data) and, had it survived, would have bumped the
+        // generation and discarded the interaction-list cache for a
+        // topology that did not change.
+        let mut t = small_tree(1);
+        let victim = t.leaf_ids()[0];
+        let kids = t.refine_leaf(victim);
+        let gen_after = t.generation();
+        let leaves_after = t.leaf_count();
+        let kids_again = t.refine_leaf(victim);
+        assert_eq!(kids_again, kids, "existing children are returned");
+        assert_eq!(
+            t.generation(),
+            gen_after,
+            "no-op refine must not invalidate topology-keyed caches"
+        );
+        assert_eq!(t.leaf_count(), leaves_after);
+        assert!(t.is_balanced());
     }
 
     #[test]

@@ -13,6 +13,24 @@ if [[ "${1:-}" == "--smoke" ]]; then
   SMOKE=1
 fi
 
+# Full runs compile for the host CPU so wide f64 packs lower to real vector
+# registers (AVX-512/AVX2/RVV) instead of split baseline ops — the JSON
+# headers record both the host and the compiled ISA, so the committed series
+# stays self-describing across machines. On AVX-512 x86 LLVM additionally
+# defaults to `prefer-256-bit` (downclock mitigation), which lowers the
+# 8-lane f64 packs to two ymm halves and makes W8 pure overhead over W4;
+# `-prefer-256-bit` is dropped so W8 gets real zmm registers. Smoke runs
+# keep default flags (CI determinism, no full-workspace rebuild churn).
+# Override: BENCH_RUSTFLAGS.
+if [[ "$SMOKE" == "0" ]]; then
+  NATIVE="-C target-cpu=native"
+  if [[ "$(uname -m)" == "x86_64" ]]; then
+    NATIVE="$NATIVE -C target-feature=-prefer-256-bit"
+  fi
+  export RUSTFLAGS="${BENCH_RUSTFLAGS:-$NATIVE}"
+  echo "full bench run: RUSTFLAGS=$RUSTFLAGS"
+fi
+
 echo "== gravity SIMD + interaction-cache bench (writes BENCH_gravity.json) =="
 BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_gravity
 
