@@ -13,8 +13,57 @@
 //! the effective bandwidth saturates as more cores contend for the single
 //! memory controller.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::arch::CpuArch;
 use crate::cost::CostModel;
+
+/// High-water mark of the simulation's own arena bytes (octree node lanes +
+/// resident sub-grids), maintained by [`note_arena_bytes`]. Process-global:
+/// the paper reports one peak-memory figure per run, not per driver.
+static ARENA_HWM: AtomicU64 = AtomicU64::new(0);
+
+/// Record the current size of the simulation's data arena; the running
+/// maximum is what [`peak_rss_bytes`] falls back to on platforms without a
+/// readable OS high-water mark.
+pub fn note_arena_bytes(bytes: u64) {
+    ARENA_HWM.fetch_max(bytes, Ordering::Relaxed);
+}
+
+/// High-water mark reported so far via [`note_arena_bytes`].
+pub fn arena_high_water_bytes() -> u64 {
+    ARENA_HWM.load(Ordering::Relaxed)
+}
+
+/// Peak resident-set size of this process in bytes: the OS `VmHWM` figure
+/// where `/proc/self/status` exists (Linux — the boards in the study all run
+/// it), otherwise the arena high-water mark. The larger of the two is
+/// returned so the metric is monotone and never under-reports the arena.
+///
+/// This is the reproduction's analogue of the paper's §6.2.1 memory-pressure
+/// observation: deep trees are memory-bound before they are compute-bound,
+/// so peak RSS is reported next to cells/sec in [`RunMetrics`]-style
+/// summaries.
+///
+/// [`RunMetrics`]: https://en.wikipedia.org/wiki/Resident_set_size
+pub fn peak_rss_bytes() -> u64 {
+    os_peak_rss_bytes()
+        .unwrap_or(0)
+        .max(arena_high_water_bytes())
+}
+
+/// `VmHWM` from `/proc/self/status`, in bytes. `None` off Linux or if the
+/// field is missing/unparsable.
+fn os_peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // "VmHWM:    123456 kB"
+    let kib: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kib * 1024)
+}
 
 /// Per-architecture memory model.
 #[derive(Debug, Clone, Copy)]
@@ -133,6 +182,23 @@ mod tests {
         for arch in CpuArch::ALL {
             assert!(MemoryModel::new(arch).ridge_point() > 0.0, "{arch:?}");
         }
+    }
+
+    #[test]
+    fn peak_rss_covers_arena_high_water() {
+        note_arena_bytes(1);
+        let before = peak_rss_bytes();
+        assert!(before > 0, "Linux VmHWM or the arena mark must be nonzero");
+        // The arena mark only ratchets upward and peak RSS tracks it.
+        note_arena_bytes(u64::MAX / 2);
+        assert_eq!(arena_high_water_bytes(), u64::MAX / 2);
+        assert!(peak_rss_bytes() >= u64::MAX / 2);
+        note_arena_bytes(1024);
+        assert_eq!(
+            arena_high_water_bytes(),
+            u64::MAX / 2,
+            "high-water mark never decreases"
+        );
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct OctoConfig {
     pub multipole_host_tasks: usize,
     /// Leaves fused per CFL/hydro launch (`--hydro_host_tasks`).
     pub hydro_host_tasks: usize,
+    /// Splits prolongated per task of a [`Driver::regrid`] sweep
+    /// (`--regrid_host_tasks`) — the aggregation idiom applied to the
+    /// refinement sweep. 1 = one task per split.
+    ///
+    /// [`Driver::regrid`]: crate::driver::Driver::regrid
+    pub regrid_host_tasks: usize,
     /// SIMD width of the gravity kernels' inner source loops
     /// (`--simd_kernel_width`): 0 = the scalar reference path, otherwise
     /// one of 1/2/4/8 (a pack width; 1 is the RISC-V degenerate pack).
@@ -98,6 +104,7 @@ impl Default for OctoConfig {
             monopole_host_tasks: 1,
             multipole_host_tasks: 1,
             hydro_host_tasks: 1,
+            regrid_host_tasks: 16,
             simd_width: 4,
             use_interaction_cache: true,
             futurize: true,
@@ -153,6 +160,7 @@ impl OctoConfig {
                 "monopole_host_tasks" => cfg.monopole_host_tasks = parse(key, value)?,
                 "multipole_host_tasks" => cfg.multipole_host_tasks = parse(key, value)?,
                 "hydro_host_tasks" => cfg.hydro_host_tasks = parse(key, value)?,
+                "regrid_host_tasks" => cfg.regrid_host_tasks = parse(key, value)?,
                 "simd_kernel_width" => {
                     cfg.simd_width = match value {
                         "scalar" => 0,
@@ -230,6 +238,7 @@ impl OctoConfig {
             ("monopole_host_tasks", self.monopole_host_tasks),
             ("multipole_host_tasks", self.multipole_host_tasks),
             ("hydro_host_tasks", self.hydro_host_tasks),
+            ("regrid_host_tasks", self.regrid_host_tasks),
         ] {
             if v == 0 {
                 return Err(format!("--{knob} must be >= 1 (1 disables aggregation)"));
@@ -317,6 +326,7 @@ mod tests {
         assert!(OctoConfig::from_args(["--futurize=maybe"]).is_err());
         assert!(OctoConfig::from_args(["--monopole_host_tasks=0"]).is_err());
         assert!(OctoConfig::from_args(["--hydro_host_tasks=x"]).is_err());
+        assert!(OctoConfig::from_args(["--regrid_host_tasks=0"]).is_err());
     }
 
     #[test]
@@ -336,8 +346,10 @@ mod tests {
             "--monopole_host_tasks=8",
             "--multipole_host_tasks=4",
             "--hydro_host_tasks=16",
+            "--regrid_host_tasks=32",
         ])
         .unwrap();
+        assert_eq!(c.regrid_host_tasks, 32);
         let a = c.aggregation();
         assert_eq!((a.monopole, a.multipole, a.hydro), (8, 4, 16));
         assert!(

@@ -451,7 +451,8 @@ fn solve_step_locked(
     }
     let rebuilt = d
         .interaction_cache
-        .ensure(&d.tree, &d.gravity_ws.moments, d.cfg.theta);
+        .ensure(&d.tree, &d.gravity_ws.moments, d.cfg.theta)
+        .rebuilt;
     let multipole = Dispatch::new(d.cfg.multipole_kernel, handle, 4);
     let monopole = Dispatch::new(d.cfg.monopole_kernel, handle, 4);
     let hydro_d = Dispatch::new(d.cfg.hydro_kernel, handle, 4);

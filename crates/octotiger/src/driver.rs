@@ -25,14 +25,14 @@ use crate::aggregate::{
 };
 use crate::config::OctoConfig;
 use crate::gravity::{
-    self, BlockSoA, CacheStats, GravityKernels, GravityWorkspace, InteractionCache,
+    self, BlockSoA, CacheStats, EnsureReport, GravityKernels, GravityWorkspace, InteractionCache,
 };
 use crate::hydro::{self, HydroStage};
 use crate::kernel_backend::Dispatch;
 use crate::octree::{NodeId, Octree};
 use crate::recycle::{PoolStats, RecyclePool};
 use crate::star::{InitialModel, RotatingStar, NF};
-use crate::subgrid::{Face, CELLS};
+use crate::subgrid::{Face, SubGrid, CELLS};
 
 /// Work counters accumulated over a run — the measured quantities the
 /// `rv-machine` projection turns into per-architecture runtimes.
@@ -94,6 +94,11 @@ pub struct RunMetrics {
     /// and hydro kernel families ran concurrently, accumulated over the run
     /// (0 in barriered mode, > 0 when the futurized graph interleaves).
     pub overlap_ratio: f64,
+    /// Peak resident set size of the process in bytes (`VmHWM`), or the
+    /// self-measured arena high-water mark where the OS counter is
+    /// unavailable. Depth regressions in memory are invisible at level 2 —
+    /// this is the number `BENCH_scale.json` tracks against depth.
+    pub peak_rss_bytes: u64,
     /// Unified counter dump (`/runtime/…`, `/gravity/…`, `/work/…`,
     /// `/energy/…`) sampled at the end of the run.
     pub counters: CounterSnapshot,
@@ -140,7 +145,7 @@ struct OverlapTotals {
 struct GravityHandoff {
     ws: GravityWorkspace,
     cache: InteractionCache,
-    rebuilt: bool,
+    report: EnsureReport,
 }
 
 /// The node-level simulation driver.
@@ -164,6 +169,19 @@ pub struct Driver {
     /// Work-aggregation seal/launch counters
     /// (`/work/aggregation/…`).
     agg: AggregationStats,
+    /// Regrid sweeps executed (`/regrid/sweeps`).
+    regrid_sweeps: u64,
+    /// Leaves split across all sweeps, cascades included
+    /// (`/regrid/leaves_refined`).
+    regrid_leaves: u64,
+}
+
+/// What one [`Driver::regrid`] sweep did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegridReport {
+    /// Leaves split this sweep — the requested ones that were still leaves
+    /// plus every cascade split the 2:1 grading closure forced.
+    pub leaves_refined: usize,
 }
 
 /// Map every leaf through `f` in parallel (one task per leaf). Still used
@@ -212,6 +230,8 @@ impl Driver {
             interaction_cache: InteractionCache::new(),
             batch_scratch: BatchScratchPool::new(),
             agg: AggregationStats::new(),
+            regrid_sweeps: 0,
+            regrid_leaves: 0,
         }
     }
 
@@ -327,7 +347,7 @@ impl Driver {
             // Cache-off ablation: force the dual traversal every step.
             self.interaction_cache.invalidate();
         }
-        let rebuilt =
+        let report =
             self.interaction_cache
                 .ensure(&self.tree, &self.gravity_ws.moments, self.config.theta);
         let accel_slots: Vec<AccelSlot> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -404,7 +424,7 @@ impl Driver {
         drop(hydro_span);
 
         self.accumulate_overlap(&g_env, &h_env);
-        self.account_step(&leaves, &accels, rebuilt);
+        self.account_step(&leaves, &accels, report);
         self.sim_time += dt;
         dt
     }
@@ -580,7 +600,7 @@ impl Driver {
                             .iter()
                             .map(|m| m.lock().expect("block slot").take().expect("p2m done"))
                             .collect();
-                        let rebuilt = {
+                        let report = {
                             let _span = trace::span(Cat::Phase, "gravity_moments");
                             ws.upward_pass(tree, &blocks);
                             cache.ensure(tree, &ws.moments, theta)
@@ -606,7 +626,7 @@ impl Driver {
                                 accel_slots,
                             );
                         }
-                        let handoff = GravityHandoff { ws, cache, rebuilt };
+                        let handoff = GravityHandoff { ws, cache, report };
                         assert!(
                             published.set(handoff).is_ok(),
                             "gravity continuation publishes exactly once"
@@ -638,7 +658,7 @@ impl Driver {
         let handoff = published.into_inner().expect("moments task ran");
         self.gravity_ws = handoff.ws;
         self.interaction_cache = handoff.cache;
-        let rebuilt = handoff.rebuilt;
+        let report = handoff.report;
         let dt = f64::from_bits(dt_bits.load(Ordering::Acquire));
 
         // Serial apply, identical order to the barriered step: walk the
@@ -661,7 +681,7 @@ impl Driver {
         assert_eq!(pos, n, "fused batches cover every leaf exactly once");
 
         self.accumulate_overlap(&g_env, &h_env);
-        self.account_step(&leaves, &accels, rebuilt);
+        self.account_step(&leaves, &accels, report);
         self.sim_time += dt;
         dt
     }
@@ -681,7 +701,7 @@ impl Driver {
         &mut self,
         leaves: &[NodeId],
         accels: &[(Vec<[f64; 3]>, u64, u64)],
-        rebuilt: bool,
+        report: EnsureReport,
     ) {
         // Ghost-path accounting (for the machine projection).
         // Values per face slab: NF × NG × NX².
@@ -705,12 +725,7 @@ impl Driver {
         self.work.hydro_flops += cells * hydro::HYDRO_FLOPS_PER_CELL;
         self.work.bytes += cells * hydro::HYDRO_BYTES_PER_CELL;
         let lanes = self.config.simd_policy().lanes() as u64;
-        let mut far_total = 0u64;
-        let mut near_total = 0u64;
-        for (_, far, near) in accels {
-            far_total += far;
-            near_total += near;
-        }
+        let near_total: u64 = accels.iter().map(|(_, _, near)| near).sum();
         let far_padded: u64 = accels
             .iter()
             .map(|(_, far, _)| rv_machine::simd_padded_interactions(*far, lanes))
@@ -721,14 +736,12 @@ impl Driver {
         self.work.near_interactions += near_inter;
         self.work.gravity_flops += far_inter * gravity::MULTIPOLE_FLOPS_PER_INTERACTION
             + near_inter * gravity::MONOPOLE_FLOPS_PER_INTERACTION;
-        if rebuilt {
-            // MAC evaluations only ran on a cache miss; the visited-node
-            // count is proxied by the list sizes (every accepted or opened
-            // node was MAC-tested).
-            let mac = far_total + near_total;
-            self.work.mac_evals += mac;
-            self.work.gravity_flops += mac * gravity::MAC_FLOPS_PER_EVAL;
-        }
+        // MAC evaluations only ran on a cache miss, and a *partial* rebuild
+        // only traversed the dirty leaves — the ensure report carries the
+        // exact entry count of the lists that were re-traversed (every
+        // accepted or opened node was MAC-tested). Retained lists cost 0.
+        self.work.mac_evals += report.mac_evals;
+        self.work.gravity_flops += report.mac_evals * gravity::MAC_FLOPS_PER_EVAL;
     }
 
     /// Run `stop_step` steps on a fresh runtime of `threads` workers and
@@ -768,6 +781,7 @@ impl Driver {
             }
         }
         let elapsed = start.elapsed().as_secs_f64();
+        rv_machine::memory::note_arena_bytes(self.tree.resident_bytes());
         let mut counters = self.sample_counters(&registry);
         rv_machine::energy_counters_into(
             &mut counters,
@@ -807,6 +821,7 @@ impl Driver {
             cache: self.interaction_cache.stats(),
             sim_time: self.sim_time,
             overlap_ratio: self.overlap_ratio(),
+            peak_rss_bytes: rv_machine::memory::peak_rss_bytes(),
             counters,
         }
     }
@@ -825,6 +840,15 @@ impl Driver {
         let cs = self.interaction_cache.stats();
         snap.set_count("/gravity/cache_hits", cs.hits);
         snap.set_count("/gravity/cache_misses", cs.misses);
+        snap.set_count("/gravity/cache/partial_rebuilds", cs.partial_rebuilds);
+        snap.set_count("/gravity/cache/leaves_rebuilt", cs.leaves_rebuilt);
+        snap.set_count("/gravity/cache/leaves_retained", cs.leaves_retained);
+        snap.set_count("/regrid/sweeps", self.regrid_sweeps);
+        snap.set_count("/regrid/leaves_refined", self.regrid_leaves);
+        snap.set_count(
+            "/runtime/peak_rss_bytes",
+            rv_machine::memory::peak_rss_bytes(),
+        );
         snap.set_count("/gravity/far_interactions", self.work.far_interactions);
         snap.set_count("/gravity/near_interactions", self.work.near_interactions);
         snap.set_count("/gravity/mac_evals", self.work.mac_evals);
@@ -876,12 +900,64 @@ impl Driver {
         self.interaction_cache.stats()
     }
 
-    /// Refine one leaf mid-run (dynamic AMR). Bumps the octree's topology
-    /// generation, which invalidates the interaction-list cache and the
-    /// gravity workspace's cached traversal order on the next step.
+    /// Refine one leaf mid-run (dynamic AMR) as a serial single-leaf sweep.
+    /// Bumps the octree's topology generation, which the interaction-list
+    /// cache and gravity workspace pick up *incrementally* on the next step
+    /// (only the split's neighbour cone re-traverses). For whole batches use
+    /// [`Driver::regrid`], which fans the prolongation out as tasks.
     pub fn refine_leaf(&mut self, leaf: NodeId) -> [NodeId; 8] {
+        if let Some(kids) = self.tree.children_of(leaf) {
+            return kids; // no-op refine: no sweep, no span
+        }
+        // One phase span per sweep (not per split: the grading cascade's
+        // splits all belong to this sweep).
         let _span = trace::span(Cat::Phase, "regrid");
-        self.tree.refine_leaf(leaf)
+        let splits = self.tree.regrid(&[leaf]);
+        self.regrid_sweeps += 1;
+        self.regrid_leaves += splits.len() as u64;
+        rv_machine::memory::note_arena_bytes(self.tree.resident_bytes());
+        self.tree.children_of(leaf).expect("sweep split the leaf")
+    }
+
+    /// Refine a batch of leaves mid-run as **one** regrid sweep driven as an
+    /// `amt` task graph: serial structural split + 2:1 grading closure, the
+    /// prolongation of every split fanned out as tasks (batched
+    /// `--regrid_host_tasks` splits per task, the aggregation idiom), then a
+    /// serial install with a single generation bump. One `regrid` phase
+    /// span wraps the whole sweep — a 1000-leaf regrid used to emit 1000.
+    pub fn regrid(&mut self, runtime: &Runtime, requested: &[NodeId]) -> RegridReport {
+        let _span = trace::span(Cat::Phase, "regrid");
+        let splits = self.tree.begin_regrid(requested);
+        if splits.is_empty() {
+            return RegridReport::default();
+        }
+        let batch = self.config.regrid_host_tasks.max(1);
+        let mut grids: Vec<Option<[SubGrid; 8]>> = (0..splits.len()).map(|_| None).collect();
+        {
+            let tree = &self.tree;
+            let handle = runtime.handle();
+            scope(&handle, |sc| {
+                for (slots, parents) in grids.chunks_mut(batch).zip(splits.chunks(batch)) {
+                    sc.spawn(move || {
+                        for (slot, &(parent, _)) in slots.iter_mut().zip(parents) {
+                            *slot = Some(tree.prolongate_children(parent));
+                        }
+                    });
+                }
+            });
+        }
+        let installs = splits
+            .iter()
+            .zip(grids)
+            .map(|(&(parent, _), g)| (parent, g.expect("scope prolongated every split")))
+            .collect();
+        self.tree.finish_regrid(installs);
+        self.regrid_sweeps += 1;
+        self.regrid_leaves += splits.len() as u64;
+        rv_machine::memory::note_arena_bytes(self.tree.resident_bytes());
+        RegridReport {
+            leaves_refined: splits.len(),
+        }
     }
 
     /// Current simulation time.

@@ -34,7 +34,8 @@ pub mod subgrid;
 pub use aggregate::{AggregationConfig, AggregationRegion, AggregationStats};
 pub use config::OctoConfig;
 pub use dist_driver::{DistConfig, DistMetrics, DistRun};
-pub use driver::{Driver, RunMetrics, WorkEstimate};
+pub use driver::{Driver, RegridReport, RunMetrics, WorkEstimate};
+pub use gravity::EnsureReport;
 pub use kernel_backend::{Dispatch, KernelType};
 pub use octree::Octree;
 pub use star::{BinaryStar, InitialModel, RotatingStar};

@@ -6,18 +6,58 @@
 //! In real Octo-Tiger every tree node is an HPX component; here the tree is
 //! the node-level structure, and `dist_driver` layers the component/locality
 //! split on top.
+//!
+//! # Storage
+//!
+//! Node metadata lives in structure-of-arrays lanes (`levels`, `coords`,
+//! `parents`, `first_child`) instead of an array of fat `Node` structs: at
+//! level 5–6 the tree holds 10⁵–10⁶ nodes and the old 96-byte AoS node (two
+//! `Option`s, one of them `[NodeId; 8]` = 64 bytes of children pointers)
+//! dominated resident metadata. [`Octree::refine`] always pushes the 8
+//! children contiguously, so the children array compresses to a single
+//! `first_child: u32` index (`u32::MAX` = leaf) and the `(level, coords)`
+//! index key packs into one `u64`. [`Octree::node`] materialises the classic
+//! [`Node`] view on demand for callers.
+//!
+//! # Regrid
+//!
+//! Mid-run refinement is a three-phase *sweep* so the driver can run the
+//! expensive part in parallel:
+//!
+//! 1. [`Octree::begin_regrid`] — serial: split the requested leaves
+//!    structurally and run the 2:1 grading closure (a worklist fixpoint),
+//!    returning every `(parent, children)` split of the sweep. Parent
+//!    sub-grids stay in place.
+//! 2. [`Octree::prolongate_children`] — pure `&self`: compute one split's 8
+//!    child sub-grids from the parent's data. Safe to fan out as parallel
+//!    tasks.
+//! 3. [`Octree::finish_regrid`] — serial: install the child grids, drop the
+//!    parent data, bump the topology generation **once for the whole
+//!    sweep**, append the sweep's splits to the split log and re-collect the
+//!    leaf order.
+//!
+//! The split log ([`Octree::splits_since`]) is what lets the gravity layer
+//! invalidate incrementally: a consumer holding lists built at generation
+//! `g0` can ask exactly which nodes stopped being leaves since then.
 
 use std::collections::HashMap;
 
 use crate::config::OctoConfig;
 use crate::star::{InitialModel, RotatingStar, NF};
-use crate::subgrid::{Face, SubGrid, NG, NX};
+use crate::subgrid::{Face, SubGrid, NG, NT, NX};
 
 /// Index of a node within the tree arena.
 pub type NodeId = usize;
 
-/// One octree node. Only leaves own a [`SubGrid`].
-#[derive(Debug)]
+/// Sentinel for "no node" in the compressed u32 lanes.
+const NONE: u32 = u32::MAX;
+
+/// Heap bytes of one leaf's field data (`[NF][NT][NT][NT]` f64).
+pub const SUBGRID_BYTES: usize = NF * NT * NT * NT * std::mem::size_of::<f64>();
+
+/// A by-value view of one octree node, materialised from the SoA lanes.
+/// Only leaves own a [`SubGrid`]; query that with [`Octree::has_subgrid`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Node {
     /// Refinement level (root = 0).
     pub level: u32,
@@ -27,19 +67,40 @@ pub struct Node {
     pub parent: Option<NodeId>,
     /// Children in z-major order (index = 4x + 2y + z), if refined.
     pub children: Option<[NodeId; 8]>,
-    /// Field data (leaves only).
-    pub subgrid: Option<SubGrid>,
 }
 
 /// The adaptive octree over `[-L, L]³`.
 #[derive(Debug)]
 pub struct Octree {
-    nodes: Vec<Node>,
+    /// Per-node refinement level (root = 0). Levels are capped at 8 by
+    /// config validation, so a byte is plenty.
+    levels: Vec<u8>,
+    /// Per-node integer position within its level.
+    coords: Vec<[u32; 3]>,
+    /// Per-node parent id (`NONE` for the root).
+    parents: Vec<u32>,
+    /// Per-node first-child id (`NONE` = leaf). Children of a refined node
+    /// are the 8 consecutive ids starting here (z-major order).
+    first_child: Vec<u32>,
+    /// Per-node field data (data-carrying leaves only).
+    subgrids: Vec<Option<SubGrid>>,
     leaves: Vec<NodeId>,
-    index: HashMap<(u32, [u32; 3]), NodeId>,
+    /// `(level, coords)` → node id, key packed into one u64.
+    index: HashMap<u64, u32>,
     domain_half: f64,
     max_level: u32,
     generation: u64,
+    /// `(generation after the split, node id)` for every node that stopped
+    /// being a leaf mid-run, in generation order. Build-time refinement is
+    /// not logged (nothing can hold a stale view of generation 0).
+    split_log: Vec<(u64, u32)>,
+}
+
+/// Pack a `(level, coords)` index key into one u64 (16 bits per component;
+/// levels are ≤ 8 so coordinates fit in 9 bits).
+fn key(level: u32, c: [u32; 3]) -> u64 {
+    debug_assert!(level <= 16 && c.iter().all(|&x| x < 1 << 16));
+    (u64::from(level) << 48) | (u64::from(c[0]) << 32) | (u64::from(c[1]) << 16) | u64::from(c[2])
 }
 
 impl Octree {
@@ -60,19 +121,24 @@ impl Octree {
     ) -> Self {
         assert!(domain_half > 0.0);
         let mut tree = Octree {
-            nodes: Vec::new(),
+            levels: Vec::new(),
+            coords: Vec::new(),
+            parents: Vec::new(),
+            first_child: Vec::new(),
+            subgrids: Vec::new(),
             leaves: Vec::new(),
             index: HashMap::new(),
             domain_half,
             max_level: config.max_level,
             generation: 0,
+            split_log: Vec::new(),
         };
-        let root = tree.push_node(0, [0, 0, 0], None);
+        let root = tree.push_node(0, [0, 0, 0], NONE);
         // Density-driven refinement.
         let threshold = config.refine_density_frac * star.reference_density();
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let (level, coords) = (tree.nodes[id].level, tree.nodes[id].coords);
+            let (level, coords) = (u32::from(tree.levels[id]), tree.coords[id]);
             if level < config.max_level && tree.region_max_density(star, level, coords) > threshold
             {
                 for child in tree.refine(id) {
@@ -80,120 +146,140 @@ impl Octree {
                 }
             }
         }
-        tree.enforce_balance();
+        // Grading closure over everything refined so far.
+        let refined: Vec<NodeId> = (0..tree.len()).filter(|&id| !tree.is_leaf(id)).collect();
+        tree.enforce_grading(refined, |_, _| {});
         tree.collect_leaves();
         // Allocate + initialize leaf sub-grids.
         for &leaf in &tree.leaves.clone() {
             let (origin, dx) = tree.node_geometry(leaf);
             let mut grid = SubGrid::new(origin, dx);
             grid.init_from_model(star);
-            tree.nodes[leaf].subgrid = Some(grid);
+            tree.subgrids[leaf] = Some(grid);
         }
         tree
     }
 
-    fn push_node(&mut self, level: u32, coords: [u32; 3], parent: Option<NodeId>) -> NodeId {
-        let id = self.nodes.len();
-        self.nodes.push(Node {
-            level,
-            coords,
-            parent,
-            children: None,
-            subgrid: None,
-        });
-        self.index.insert((level, coords), id);
+    fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    fn is_leaf(&self, id: NodeId) -> bool {
+        self.first_child[id] == NONE
+    }
+
+    fn push_node(&mut self, level: u32, coords: [u32; 3], parent: u32) -> NodeId {
+        let id = self.len();
+        self.levels.push(level as u8);
+        self.coords.push(coords);
+        self.parents.push(parent);
+        self.first_child.push(NONE);
+        self.subgrids.push(None);
+        self.index.insert(key(level, coords), id as u32);
         id
     }
 
     fn refine(&mut self, id: NodeId) -> [NodeId; 8] {
-        assert!(self.nodes[id].children.is_none(), "node already refined");
-        let (level, c) = (self.nodes[id].level, self.nodes[id].coords);
+        assert!(self.is_leaf(id), "node already refined");
+        let (level, c) = (u32::from(self.levels[id]), self.coords[id]);
+        let first = self.len() as u32;
         let mut kids = [0; 8];
         for (n, kid) in kids.iter_mut().enumerate() {
             let d = [(n >> 2) as u32 & 1, (n >> 1) as u32 & 1, n as u32 & 1];
             *kid = self.push_node(
                 level + 1,
                 [2 * c[0] + d[0], 2 * c[1] + d[1], 2 * c[2] + d[2]],
-                Some(id),
+                id as u32,
             );
         }
-        self.nodes[id].children = Some(kids);
+        self.first_child[id] = first;
         kids
     }
 
-    /// Topology generation: bumped whenever the set of tree nodes changes
-    /// (currently only through [`Octree::refine_leaf`]). Consumers that
-    /// cache topology-derived data — the gravity interaction lists, the
-    /// solver workspace — key on this counter to know when to rebuild.
+    /// Topology generation: bumped once per regrid *sweep* that actually
+    /// split at least one node. Consumers that cache topology-derived data —
+    /// the gravity interaction lists, the solver workspace — key on this
+    /// counter, and can recover the exact set of splits between two
+    /// generations from [`Octree::splits_since`].
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
-    /// Refine one leaf in place mid-run (dynamic AMR): split it into 8
-    /// children, prolongate the leaf's fields onto them piecewise-constant
-    /// (conservative: each child cell copies its covering parent cell),
-    /// restore the 2:1 face grading by recursively refining any
+    /// Nodes that stopped being leaves after generation `g0`, oldest first.
+    /// The log only records mid-run splits, so a consumer whose snapshot is
+    /// at `g0` rebuilds exactly the lists these nodes invalidate.
+    pub fn splits_since(&self, g0: u64) -> impl Iterator<Item = NodeId> + '_ {
+        let start = self.split_log.partition_point(|&(g, _)| g <= g0);
+        self.split_log[start..].iter().map(|&(_, id)| id as usize)
+    }
+
+    /// Refine one leaf in place mid-run (dynamic AMR) as a one-leaf sweep:
+    /// split it into 8 children, prolongate the leaf's fields onto them
+    /// piecewise-constant (conservative: each child cell copies its covering
+    /// parent cell), restore the 2:1 face grading by refining any
     /// now-too-coarse neighbour leaves the same way, bump the topology
-    /// generation and re-collect the leaf order. Returns the 8 children of
-    /// `leaf`.
+    /// generation once and re-collect the leaf order. Returns the 8 children
+    /// of `leaf`.
     ///
     /// Refining an already-refined node is a no-op: the existing children
     /// are returned and the generation counter is *not* bumped, so cached
     /// topology-derived data (the interaction lists) stays valid instead of
     /// being discarded for a refinement that changed nothing.
     pub fn refine_leaf(&mut self, leaf: NodeId) -> [NodeId; 8] {
-        if let Some(kids) = self.nodes[leaf].children {
+        if let Some(kids) = self.children_of(leaf) {
             return kids;
         }
-        let kids = self.refine_leaf_with_data(leaf);
-        // Restore grading: every refined node's same-level face neighbours
-        // must exist; refine covering leaves (with data) until they do.
-        loop {
-            let mut to_refine = Vec::new();
-            for id in 0..self.nodes.len() {
-                if self.nodes[id].children.is_none() {
-                    continue;
-                }
-                let (level, coords) = (self.nodes[id].level, self.nodes[id].coords);
-                for face in Face::ALL {
-                    if let Some(nc) = self.neighbor_coords(level, coords, face) {
-                        if self.index.contains_key(&(level, nc)) {
-                            continue;
-                        }
-                        let cover = self.deepest_node_at(level, nc);
-                        if self.nodes[cover].children.is_none() && !to_refine.contains(&cover) {
-                            to_refine.push(cover);
-                        }
-                    }
-                }
-            }
-            if to_refine.is_empty() {
-                break;
-            }
-            for id in to_refine {
-                if self.nodes[id].children.is_none() {
-                    self.refine_leaf_with_data(id);
-                }
-            }
-        }
-        self.generation += 1;
-        self.collect_leaves();
-        kids
+        self.regrid(&[leaf]);
+        self.children_of(leaf).expect("leaf was split by the sweep")
     }
 
-    /// Split one data-carrying leaf and prolongate its fields onto the 8
-    /// children (piecewise constant). Does not touch the leaf order or the
-    /// generation counter — [`Octree::refine_leaf`] finalizes those.
-    fn refine_leaf_with_data(&mut self, leaf: NodeId) -> [NodeId; 8] {
-        let parent_grid = self.nodes[leaf]
-            .subgrid
-            .take()
-            .expect("refine_leaf needs a data-carrying leaf");
-        let kids = self.refine(leaf);
-        self.max_level = self.max_level.max(self.nodes[leaf].level + 1);
-        for (n, &kid) in kids.iter().enumerate() {
+    /// One serial regrid sweep: split every requested leaf (already-refined
+    /// entries are skipped), restore grading, prolongate and install child
+    /// data, and finalize with a single generation bump. Returns the sweep's
+    /// splits. The driver's parallel regrid drives the same three phases
+    /// with the prolongation fanned out as tasks.
+    pub fn regrid(&mut self, requested: &[NodeId]) -> Vec<(NodeId, [NodeId; 8])> {
+        let splits = self.begin_regrid(requested);
+        let installs = splits
+            .iter()
+            .map(|&(parent, _)| (parent, self.prolongate_children(parent)))
+            .collect();
+        self.finish_regrid(installs);
+        splits
+    }
+
+    /// Phase 1 of a regrid sweep: structurally split the requested leaves
+    /// (skipping any that are already refined) and run the 2:1 grading
+    /// closure. Parent sub-grids are left in place for
+    /// [`Octree::prolongate_children`]; the generation, split log and leaf
+    /// order are untouched until [`Octree::finish_regrid`].
+    pub fn begin_regrid(&mut self, requested: &[NodeId]) -> Vec<(NodeId, [NodeId; 8])> {
+        let mut splits = Vec::new();
+        let mut seed = Vec::new();
+        for &leaf in requested {
+            if !self.is_leaf(leaf) {
+                continue;
+            }
+            let kids = self.refine(leaf);
+            splits.push((leaf, kids));
+            seed.push(leaf);
+        }
+        self.enforce_grading(seed, |id, kids| splits.push((id, kids)));
+        splits
+    }
+
+    /// Phase 2 of a regrid sweep: prolongate one split parent's fields onto
+    /// its 8 children, piecewise constant (conservative: each child cell
+    /// copies its covering parent cell). Pure read — the driver fans these
+    /// out as parallel tasks over the sweep's splits.
+    pub fn prolongate_children(&self, parent: NodeId) -> [SubGrid; 8] {
+        let parent_grid = self.subgrids[parent]
+            .as_ref()
+            .expect("regrid splits a data-carrying leaf");
+        let fc = self.first_child[parent] as usize;
+        std::array::from_fn(|n| {
             let d = [(n >> 2) & 1, (n >> 1) & 1, n & 1];
-            let (origin, dx) = self.node_geometry(kid);
+            let (origin, dx) = self.node_geometry(fc + n);
             let mut grid = SubGrid::new(origin, dx);
             for f in 0..NF {
                 for i in 0..NX {
@@ -210,9 +296,30 @@ impl Octree {
                     }
                 }
             }
-            self.nodes[kid].subgrid = Some(grid);
+            grid
+        })
+    }
+
+    /// Phase 3 of a regrid sweep: install the prolongated child grids, drop
+    /// the parent data, append the sweep's splits to the split log, bump the
+    /// generation **once** and re-collect the leaf order. An empty sweep
+    /// (every requested leaf was already refined) leaves the generation
+    /// untouched so caches stay warm.
+    pub fn finish_regrid(&mut self, installs: Vec<(NodeId, [SubGrid; 8])>) {
+        if installs.is_empty() {
+            return;
         }
-        kids
+        self.generation += 1;
+        for (parent, grids) in installs {
+            self.split_log.push((self.generation, parent as u32));
+            self.max_level = self.max_level.max(u32::from(self.levels[parent]) + 1);
+            self.subgrids[parent] = None;
+            let fc = self.first_child[parent] as usize;
+            for (n, grid) in grids.into_iter().enumerate() {
+                self.subgrids[fc + n] = Some(grid);
+            }
+        }
+        self.collect_leaves();
     }
 
     /// Max model density sampled on a 5³ lattice over the node's region.
@@ -236,38 +343,49 @@ impl Octree {
         max
     }
 
-    /// Enforce 2:1 grading: every refined node's face neighbours (at the
-    /// node's own level) must exist as tree nodes; refine coarser leaves
-    /// until they do.
-    fn enforce_balance(&mut self) {
-        loop {
-            let mut to_refine = Vec::new();
-            for id in 0..self.nodes.len() {
-                if self.nodes[id].children.is_none() {
+    /// Enforce 2:1 grading as a worklist fixpoint: every refined node's
+    /// same-level face neighbours must exist; refine covering leaves until
+    /// they do. Node creation is monotone (no node is ever removed), so an
+    /// invariant that held before the sweep can only be broken by this
+    /// sweep's own splits — the worklist starts from those and re-checks a
+    /// node only while a covering split is still coarser than required. This
+    /// replaces the old whole-tree rescan per fixpoint pass, which at 10⁵
+    /// nodes cost O(nodes) per *refined leaf*.
+    fn enforce_grading(
+        &mut self,
+        seed: Vec<NodeId>,
+        mut on_split: impl FnMut(NodeId, [NodeId; 8]),
+    ) {
+        let mut work = seed;
+        while let Some(id) = work.pop() {
+            if self.is_leaf(id) {
+                continue; // only refined nodes carry the neighbour requirement
+            }
+            let (level, coords) = (u32::from(self.levels[id]), self.coords[id]);
+            let mut recheck = false;
+            for face in Face::ALL {
+                let Some(nc) = self.neighbor_coords(level, coords, face) else {
+                    continue;
+                };
+                if self.index.contains_key(&key(level, nc)) {
                     continue;
                 }
-                let (level, coords) = (self.nodes[id].level, self.nodes[id].coords);
-                for face in Face::ALL {
-                    if let Some(nc) = self.neighbor_coords(level, coords, face) {
-                        if self.index.contains_key(&(level, nc)) {
-                            continue;
-                        }
-                        // Find the covering leaf (some strict ancestor of
-                        // the missing position) and mark it.
-                        let cover = self.deepest_node_at(level, nc);
-                        if self.nodes[cover].children.is_none() && !to_refine.contains(&cover) {
-                            to_refine.push(cover);
-                        }
-                    }
+                // Find the covering leaf (some strict ancestor of the
+                // missing position) and split it.
+                let cover = self.deepest_node_at(level, nc);
+                if self.is_leaf(cover) {
+                    let kids = self.refine(cover);
+                    on_split(cover, kids);
+                    work.push(cover);
+                }
+                // The cover may still be coarser than `level − 1`; the node
+                // at `(level, nc)` then still doesn't exist, so come back.
+                if u32::from(self.levels[cover]) + 1 < level {
+                    recheck = true;
                 }
             }
-            if to_refine.is_empty() {
-                return;
-            }
-            for id in to_refine {
-                if self.nodes[id].children.is_none() {
-                    self.refine(id);
-                }
+            if recheck {
+                work.push(id);
             }
         }
     }
@@ -278,8 +396,8 @@ impl Octree {
         let mut l = level;
         let mut c = coords;
         loop {
-            if let Some(&id) = self.index.get(&(l, c)) {
-                return id;
+            if let Some(&id) = self.index.get(&key(l, c)) {
+                return id as usize;
             }
             assert!(l > 0, "root must exist");
             l -= 1;
@@ -311,14 +429,9 @@ impl Octree {
     }
 
     fn collect_leaves(&mut self) {
-        let mut leaves: Vec<NodeId> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].children.is_none())
-            .collect();
+        let mut leaves: Vec<NodeId> = (0..self.len()).filter(|&i| self.is_leaf(i)).collect();
         // Deterministic order: by (level, Morton-ish coords).
-        leaves.sort_by_key(|&i| {
-            let n = &self.nodes[i];
-            (n.level, n.coords[0], n.coords[1], n.coords[2])
-        });
+        leaves.sort_by_key(|&i| (self.levels[i], self.coords[i]));
         self.leaves = leaves;
     }
 
@@ -338,9 +451,9 @@ impl Octree {
 
     /// (origin, cell width) of a node's sub-grid.
     pub fn node_geometry(&self, id: NodeId) -> ([f64; 3], f64) {
-        let n = &self.nodes[id];
-        let origin = self.node_origin(n.level, n.coords);
-        (origin, self.node_size(n.level) / NX as f64)
+        let level = u32::from(self.levels[id]);
+        let origin = self.node_origin(level, self.coords[id]);
+        (origin, self.node_size(level) / NX as f64)
     }
 
     /// Leaf ids in deterministic order.
@@ -361,26 +474,63 @@ impl Octree {
 
     /// Total node count (internal + leaves).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.len()
     }
 
-    /// Immutable node access.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id]
+    /// Node metadata + field-data bytes resident in this tree (SoA lanes,
+    /// index, leaf order, sub-grids). Feeds the arena high-water mark that
+    /// backs `/runtime/peak_rss_bytes` when the OS counter is unavailable.
+    pub fn resident_bytes(&self) -> u64 {
+        let lanes = self.levels.capacity()
+            + self.coords.capacity() * std::mem::size_of::<[u32; 3]>()
+            + self.parents.capacity() * 4
+            + self.first_child.capacity() * 4
+            + self.subgrids.capacity() * std::mem::size_of::<Option<SubGrid>>();
+        let index = self.index.len() * (std::mem::size_of::<u64>() + 4);
+        let leaves = self.leaves.capacity() * std::mem::size_of::<NodeId>();
+        let grids = self.subgrids.iter().flatten().count() * SUBGRID_BYTES;
+        let log = self.split_log.capacity() * std::mem::size_of::<(u64, u32)>();
+        (lanes + index + leaves + grids + log) as u64
+    }
+
+    /// Materialise the classic node view for `id` from the SoA lanes.
+    pub fn node(&self, id: NodeId) -> Node {
+        Node {
+            level: u32::from(self.levels[id]),
+            coords: self.coords[id],
+            parent: (self.parents[id] != NONE).then(|| self.parents[id] as usize),
+            children: self.children_of(id),
+        }
+    }
+
+    /// Children of `id` (z-major order), if refined. The 8 children are
+    /// always pushed consecutively, so they are recovered from the stored
+    /// first-child index.
+    pub fn children_of(&self, id: NodeId) -> Option<[NodeId; 8]> {
+        let fc = self.first_child[id];
+        (fc != NONE).then(|| std::array::from_fn(|n| fc as usize + n))
+    }
+
+    /// Whether `id` currently carries field data (i.e. is a data leaf).
+    pub fn has_subgrid(&self, id: NodeId) -> bool {
+        self.subgrids[id].is_some()
+    }
+
+    /// Node id at exactly `(level, coords)`, if that node exists.
+    pub fn node_at(&self, level: u32, coords: [u32; 3]) -> Option<NodeId> {
+        self.index.get(&key(level, coords)).map(|&id| id as usize)
     }
 
     /// Mutable access to a leaf's sub-grid.
     pub fn subgrid_mut(&mut self, id: NodeId) -> &mut SubGrid {
-        self.nodes[id]
-            .subgrid
+        self.subgrids[id]
             .as_mut()
             .expect("node is not a leaf with data")
     }
 
     /// Immutable access to a leaf's sub-grid.
     pub fn subgrid(&self, id: NodeId) -> &SubGrid {
-        self.nodes[id]
-            .subgrid
+        self.subgrids[id]
             .as_ref()
             .expect("node is not a leaf with data")
     }
@@ -389,7 +539,7 @@ impl Octree {
     pub fn deepest_level(&self) -> u32 {
         self.leaves
             .iter()
-            .map(|&l| self.nodes[l].level)
+            .map(|&l| u32::from(self.levels[l]))
             .max()
             .unwrap_or(0)
     }
@@ -400,16 +550,17 @@ impl Octree {
         let eps = 1e-12;
         let clamp = |x: f64| x.clamp(-self.domain_half + eps, self.domain_half - eps);
         let q = [clamp(p[0]), clamp(p[1]), clamp(p[2])];
-        let mut id = self.index[&(0, [0, 0, 0])];
-        while let Some(children) = self.nodes[id].children {
-            let n = &self.nodes[id];
-            let size = self.node_size(n.level);
-            let origin = self.node_origin(n.level, n.coords);
+        let mut id: NodeId = 0; // the root is always node 0
+        while self.first_child[id] != NONE {
+            let fc = self.first_child[id] as usize;
+            let level = u32::from(self.levels[id]);
+            let size = self.node_size(level);
+            let origin = self.node_origin(level, self.coords[id]);
             let half = size / 2.0;
             let ix = usize::from(q[0] >= origin[0] + half);
             let iy = usize::from(q[1] >= origin[1] + half);
             let iz = usize::from(q[2] >= origin[2] + half);
-            id = children[4 * ix + 2 * iy + iz];
+            id = fc + 4 * ix + 2 * iy + iz;
         }
         let (origin, dx) = self.node_geometry(id);
         let cell = |x: f64, o: f64| (((x - o) / dx) as usize).min(NX - 1);
@@ -437,10 +588,10 @@ impl Octree {
     /// coarse neighbours, fine neighbours and the outflow domain boundary)
     /// otherwise.
     pub fn ghost_data_for(&self, leaf: NodeId, face: Face) -> Vec<f64> {
-        let node = &self.nodes[leaf];
-        if let Some(nc) = self.neighbor_coords(node.level, node.coords, face) {
-            if let Some(&nid) = self.index.get(&(node.level, nc)) {
-                if self.nodes[nid].children.is_none() {
+        let (level, coords) = (u32::from(self.levels[leaf]), self.coords[leaf]);
+        if let Some(nc) = self.neighbor_coords(level, coords, face) {
+            if let Some(nid) = self.node_at(level, nc) {
+                if self.is_leaf(nid) {
                     return self.subgrid(nid).face_slab(face.opposite());
                 }
             }
@@ -466,10 +617,10 @@ impl Octree {
     /// copy for this face (false = per-cell tree-descent sampling, the
     /// latency-bound path the machine model charges per sample).
     pub fn ghost_fast_path(&self, leaf: NodeId, face: Face) -> bool {
-        let node = &self.nodes[leaf];
-        if let Some(nc) = self.neighbor_coords(node.level, node.coords, face) {
-            if let Some(&nid) = self.index.get(&(node.level, nc)) {
-                return self.nodes[nid].children.is_none();
+        let (level, coords) = (u32::from(self.levels[leaf]), self.coords[leaf]);
+        if let Some(nc) = self.neighbor_coords(level, coords, face) {
+            if let Some(nid) = self.node_at(level, nc) {
+                return self.is_leaf(nid);
             }
         }
         false
@@ -516,9 +667,9 @@ impl Octree {
     /// Verify the 2:1 grading invariant by brute force (test helper).
     pub fn is_balanced(&self) -> bool {
         for &leaf in &self.leaves {
-            let n = &self.nodes[leaf];
+            let level = u32::from(self.levels[leaf]);
             let (origin, _) = self.node_geometry(leaf);
-            let size = self.node_size(n.level);
+            let size = self.node_size(level);
             // Probe points just across each face.
             for face in Face::ALL {
                 let mut p = [
@@ -531,7 +682,7 @@ impl Octree {
                     continue;
                 }
                 let (nl, _) = self.locate(p);
-                let diff = i64::from(self.nodes[nl].level) - i64::from(n.level);
+                let diff = i64::from(self.levels[nl]) - i64::from(level);
                 if diff.abs() > 1 {
                     return false;
                 }
@@ -678,7 +829,7 @@ mod tests {
                 let Some(nc) = t.neighbor_coords(level, coords, face) else {
                     continue;
                 };
-                let Some(&nid) = t.index.get(&(level, nc)) else {
+                let Some(nid) = t.node_at(level, nc) else {
                     continue;
                 };
                 if t.node(nid).children.is_some() {
@@ -756,9 +907,9 @@ mod tests {
         assert!(t.is_balanced());
         for &kid in &kids {
             assert_eq!(t.node(kid).level, 2);
-            assert!(t.node(kid).subgrid.is_some(), "children carry data");
+            assert!(t.has_subgrid(kid), "children carry data");
         }
-        assert!(t.node(victim).subgrid.is_none(), "parent data moved down");
+        assert!(!t.has_subgrid(victim), "parent data moved down");
         // Piecewise-constant prolongation is conservative.
         let mass_after = t.total_mass();
         assert!(
@@ -826,8 +977,89 @@ mod tests {
         assert!(t.is_balanced(), "cascaded refinement keeps 2:1 grading");
         assert_eq!(t.generation(), g1 + 1);
         for &l in t.leaf_ids() {
-            assert!(t.node(l).subgrid.is_some(), "every leaf carries data");
+            assert!(t.has_subgrid(l), "every leaf carries data");
         }
+    }
+
+    #[test]
+    fn batch_regrid_equals_one_sweep() {
+        // A whole batch of refines is one sweep: one generation bump, one
+        // split-log segment, same grading invariant.
+        let mut t = small_tree(2);
+        let victims: Vec<NodeId> = t.leaf_ids().iter().copied().take(4).collect();
+        let g0 = t.generation();
+        let splits = t.regrid(&victims);
+        assert_eq!(t.generation(), g0 + 1, "one bump per sweep");
+        assert!(splits.len() >= victims.len());
+        assert!(t.is_balanced());
+        let logged: Vec<NodeId> = t.splits_since(g0).collect();
+        assert_eq!(
+            logged,
+            splits.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            "split log records exactly the sweep's splits"
+        );
+        for &l in t.leaf_ids() {
+            assert!(t.has_subgrid(l), "every leaf carries data");
+        }
+        // Requesting already-refined nodes again is an empty sweep.
+        let g1 = t.generation();
+        assert!(t.regrid(&victims).is_empty());
+        assert_eq!(t.generation(), g1, "empty sweep keeps caches warm");
+    }
+
+    #[test]
+    fn split_log_filters_by_generation() {
+        let mut t = small_tree(1);
+        let a = t.leaf_ids()[0];
+        t.refine_leaf(a);
+        let g1 = t.generation();
+        let b = *t.leaf_ids().last().unwrap();
+        t.refine_leaf(b);
+        let since_start: Vec<NodeId> = t.splits_since(0).collect();
+        assert!(since_start.contains(&a) && since_start.contains(&b));
+        let since_g1: Vec<NodeId> = t.splits_since(g1).collect();
+        assert!(!since_g1.contains(&a) && since_g1.contains(&b));
+        assert_eq!(t.splits_since(t.generation()).count(), 0);
+    }
+
+    #[test]
+    fn phased_regrid_matches_serial_sweep() {
+        // begin/prolongate/finish driven by hand must equal the serial
+        // convenience sweep bitwise (this is the contract the driver's
+        // parallel regrid relies on).
+        let mut a = small_tree(2);
+        let mut b = small_tree(2);
+        let victims: Vec<NodeId> = a.leaf_ids().iter().copied().take(3).collect();
+        a.regrid(&victims);
+        let splits = b.begin_regrid(&victims);
+        let installs: Vec<(NodeId, [SubGrid; 8])> = splits
+            .iter()
+            .map(|&(p, _)| (p, b.prolongate_children(p)))
+            .collect();
+        b.finish_regrid(installs);
+        assert_eq!(a.leaf_ids(), b.leaf_ids());
+        assert_eq!(a.generation(), b.generation());
+        for &l in a.leaf_ids() {
+            let (ga, gb) = (a.subgrid(l), b.subgrid(l));
+            for f in 0..NF {
+                for i in 0..NX as i64 {
+                    for j in 0..NX as i64 {
+                        for k in 0..NX as i64 {
+                            assert_eq!(ga.at(f, i, j, k).to_bits(), gb.at(f, i, j, k).to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resident_bytes_tracks_leaf_data() {
+        let t = small_tree(2);
+        let bytes = t.resident_bytes();
+        assert!(bytes >= (t.leaf_count() * SUBGRID_BYTES) as u64);
+        // Metadata overhead should be small next to field data.
+        assert!(bytes < (t.leaf_count() * 2 * SUBGRID_BYTES) as u64);
     }
 
     #[test]

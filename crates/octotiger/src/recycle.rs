@@ -7,18 +7,49 @@
 //! explicitly (RAII would hide the pool handle inside the buffer type and
 //! complicate crossing task boundaries, which is exactly where these
 //! buffers travel).
+//!
+//! The free lists are sharded per runtime worker ([`amt::current_worker`]):
+//! at level-2 trees a single `Mutex<HashMap>` is invisible, but a level-5
+//! step issues ~10⁵ acquire/release pairs across all workers and the one
+//! lock becomes a serialization point. A worker releases into its own shard
+//! and acquires from it first (buffers stay warm in that worker's cache),
+//! falling back to scavenging the other shards so reuse still works across
+//! task migrations and from non-worker threads (shard 0).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+/// Number of per-worker free-list shards. Worker indices map onto shards
+/// modulo this; a power of two keeps the mapping cheap and bounds the
+/// scavenging sweep on very wide machines.
+const SHARDS: usize = 8;
+
+/// Shard for the calling thread: the runtime worker's own shard on a worker
+/// thread, shard 0 elsewhere (tests, `main`, bench harnesses).
+fn home_shard() -> usize {
+    amt::current_worker().map_or(0, |w| w % SHARDS)
+}
+
+type FreeLists<T> = HashMap<usize, Vec<Vec<T>>>;
+
 /// A recycling pool of `Vec<T>` scratch buffers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RecyclePool<T> {
-    free: Mutex<HashMap<usize, Vec<Vec<T>>>>,
+    shards: [Mutex<FreeLists<T>>; SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl<T> Default for RecyclePool<T> {
+    fn default() -> Self {
+        RecyclePool {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Pool statistics (reuse effectiveness).
@@ -33,17 +64,18 @@ pub struct PoolStats {
 impl<T: Clone + Default> RecyclePool<T> {
     /// Empty pool.
     pub fn new() -> Self {
-        RecyclePool {
-            free: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        Self::default()
     }
 
     /// Acquire a buffer of exactly `len` default-valued elements, reusing a
-    /// previously released one when available.
+    /// previously released one when available. The caller's own shard is
+    /// tried first (no contention in the steady state); other shards are
+    /// scavenged before giving up and allocating.
     pub fn acquire(&self, len: usize) -> Vec<T> {
-        let recycled = self.free.lock().get_mut(&len).and_then(Vec::pop);
+        let home = home_shard();
+        let recycled = (0..SHARDS)
+            .map(|i| &self.shards[(home + i) % SHARDS])
+            .find_map(|shard| shard.lock().get_mut(&len).and_then(Vec::pop));
         match recycled {
             Some(mut buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -59,11 +91,12 @@ impl<T: Clone + Default> RecyclePool<T> {
     }
 
     /// Return a buffer for future reuse (its capacity is what's recycled).
+    /// Lands in the calling worker's own shard.
     pub fn release(&self, buf: Vec<T>) {
         if buf.capacity() == 0 {
             return;
         }
-        self.free
+        self.shards[home_shard()]
             .lock()
             .entry(buf.capacity())
             .or_default()
@@ -78,14 +111,19 @@ impl<T: Clone + Default> RecyclePool<T> {
         }
     }
 
-    /// Buffers currently parked in the pool.
+    /// Buffers currently parked in the pool (all shards).
     pub fn parked(&self) -> usize {
-        self.free.lock().values().map(Vec::len).sum()
+        self.shards
+            .iter()
+            .map(|s| s.lock().values().map(Vec::len).sum::<usize>())
+            .sum()
     }
 
     /// Drop every parked buffer (memory pressure relief).
     pub fn clear(&self) {
-        self.free.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 }
 
@@ -134,6 +172,29 @@ mod tests {
         assert_eq!(pool.parked(), 2);
         pool.clear();
         assert_eq!(pool.parked(), 0);
+    }
+
+    #[test]
+    fn cross_shard_scavenging_still_reuses() {
+        // A buffer released on one worker (or off-worker → shard 0) must be
+        // reusable from any other thread: scavenging keeps the pool's reuse
+        // guarantee, sharding only changes who contends with whom.
+        let pool: Arc<RecyclePool<f64>> = Arc::new(RecyclePool::new());
+        pool.release(vec![0.0; 64]); // off-worker → shard 0
+        let rt = amt::Runtime::new(2);
+        let reused = {
+            let p = Arc::clone(&pool);
+            rt.spawn(move || {
+                let buf = p.acquire(64);
+                let len = buf.len();
+                p.release(buf); // parked in the worker's own shard
+                len
+            })
+            .get()
+        };
+        assert_eq!(reused, 64);
+        assert!(pool.stats().hits >= 1, "worker must scavenge shard 0");
+        assert_eq!(pool.parked(), 1);
     }
 
     #[test]

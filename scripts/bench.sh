@@ -40,6 +40,9 @@ BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_hydro
 echo "== tracer overhead bench (writes BENCH_trace_overhead.json) =="
 BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_trace
 
+echo "== deep-tree scale bench (writes BENCH_scale.json) =="
+BENCH_SMOKE=$SMOKE cargo bench -q -p repro-bench --bench bench_scale
+
 if [[ "$SMOKE" == "0" ]]; then
   echo "== octotiger kernel bench (stdout reference numbers) =="
   cargo bench -q -p repro-bench --bench bench_octotiger
@@ -53,4 +56,7 @@ if [[ "$SMOKE" == "0" ]]; then
   echo
   echo "BENCH_trace_overhead.json updated:"
   cat BENCH_trace_overhead.json
+  echo
+  echo "BENCH_scale.json updated:"
+  cat BENCH_scale.json
 fi

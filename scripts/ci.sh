@@ -18,6 +18,9 @@ cargo test -q --test simd_hydro_prop
 echo "== work-aggregation agreement (batched == per-leaf, bitwise) =="
 cargo test -q --test aggregation_prop
 
+echo "== incremental regrid agreement (incremental == full rebuild, bitwise) =="
+cargo test -q --test regrid_incremental_prop
+
 echo "== gravity bench smoke (one short iteration, no timing assertions) =="
 BENCH_SMOKE=1 BENCH_HOST_TASKS=1 cargo bench -q -p repro-bench --bench bench_gravity
 BENCH_SMOKE=1 BENCH_HOST_TASKS=16 cargo bench -q -p repro-bench --bench bench_gravity
@@ -28,6 +31,9 @@ BENCH_SMOKE=1 BENCH_HOST_TASKS=16 cargo bench -q -p repro-bench --bench bench_hy
 
 echo "== tracer overhead bench smoke =="
 BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_trace
+
+echo "== deep-tree scale smoke (level 4, mid-run regrid rebuilds < 25% of lists) =="
+BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_scale
 
 echo "== trace smoke run + checker =="
 TRACE_OUT=$(mktemp -t apexlite_ci_XXXXXX.json)
