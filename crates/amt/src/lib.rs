@@ -47,4 +47,4 @@ pub mod sr;
 pub mod sync;
 
 pub use future::{make_ready_future, pair as future_pair, when_all, when_any, Future, Promise};
-pub use runtime::{current_worker, Handle, Runtime, RuntimeStats, WorkerStats};
+pub use runtime::{current_worker, imbalance, Handle, Runtime, RuntimeStats, WorkerStats};

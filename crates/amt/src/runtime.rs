@@ -36,12 +36,19 @@ struct Stats {
 /// Per-worker event counters (the `/runtime/worker{N}/...` counters in the
 /// apex-lite namespace). Kept separate from the global [`Stats`] totals so
 /// the hot paths touch one extra same-core atomic, not a shared one.
+///
+/// `busy_ns`/`park_ns` are always-on wall-clock accounting (two
+/// `Instant`-reads per task / park wait, no allocation): they feed the
+/// `/runtime/imbalance` max/mean-busy gauge and the per-worker utilization
+/// counters even when span tracing is disabled.
 #[derive(Default)]
 struct WorkerCounters {
     executed: AtomicU64,
     stolen: AtomicU64,
     parked: AtomicU64,
     yields: AtomicU64,
+    busy_ns: AtomicU64,
+    park_ns: AtomicU64,
 }
 
 /// Snapshot of one worker's event counts.
@@ -55,6 +62,10 @@ pub struct WorkerStats {
     pub parks: u64,
     /// Cooperative yields on this worker.
     pub yields: u64,
+    /// Wall-clock nanoseconds spent executing tasks.
+    pub busy_ns: u64,
+    /// Wall-clock nanoseconds spent parked waiting for work.
+    pub park_ns: u64,
 }
 
 /// Snapshot of scheduler event counts since construction (or the last
@@ -174,11 +185,17 @@ impl Shared {
         if let Some(i) = worker {
             self.workers[i].executed.fetch_add(1, Ordering::Relaxed);
         }
+        let start = worker.map(|_| trace::now_ns());
         let _span = trace::span(Cat::Task, "execute");
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
             // Futures carry their own panic payloads; a detached task that
             // panics is counted and otherwise dropped, keeping workers alive.
             self.stats.panics.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(i), Some(s)) = (worker, start) {
+            self.workers[i]
+                .busy_ns
+                .fetch_add(trace::now_ns().saturating_sub(s), Ordering::Relaxed);
         }
     }
 
@@ -205,7 +222,14 @@ impl Shared {
             c.store(0, Ordering::Relaxed);
         }
         for w in &self.workers {
-            for c in [&w.executed, &w.stolen, &w.parked, &w.yields] {
+            for c in [
+                &w.executed,
+                &w.stolen,
+                &w.parked,
+                &w.yields,
+                &w.busy_ns,
+                &w.park_ns,
+            ] {
                 c.store(0, Ordering::Relaxed);
             }
         }
@@ -219,6 +243,8 @@ impl Shared {
                 steals: w.stolen.load(Ordering::Relaxed),
                 parks: w.parked.load(Ordering::Relaxed),
                 yields: w.yields.load(Ordering::Relaxed),
+                busy_ns: w.busy_ns.load(Ordering::Relaxed),
+                park_ns: w.park_ns.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -250,6 +276,7 @@ fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<Task>) {
                 shared.stats.parked.fetch_add(1, Ordering::Relaxed);
                 shared.workers[index].parked.fetch_add(1, Ordering::Relaxed);
                 shared.sleepers.fetch_add(1, Ordering::SeqCst);
+                let park_start = trace::now_ns();
                 {
                     let _span = trace::span(Cat::Sched, "park");
                     let mut g = shared.sleep_lock.lock();
@@ -259,6 +286,10 @@ fn worker_main(shared: Arc<Shared>, index: usize, deque: Deque<Task>) {
                         shared.wake.wait_for(&mut g, Duration::from_micros(500));
                     }
                 }
+                shared.workers[index].park_ns.fetch_add(
+                    trace::now_ns().saturating_sub(park_start),
+                    Ordering::Relaxed,
+                );
                 shared.sleepers.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -363,9 +394,11 @@ impl Handle {
     }
 
     /// Register this runtime's counters with an apex-lite registry under
-    /// `prefix` (e.g. `/runtime`): scheduler totals plus per-worker
-    /// `worker{N}/...` breakdowns. The provider captures a clone of this
-    /// handle, so it stays valid for the registry's lifetime.
+    /// `prefix` (e.g. `/runtime`): scheduler totals, per-worker
+    /// `worker{N}/...` breakdowns (now including wall-clock `busy_ns` /
+    /// `park_ns`), and the `imbalance` max/mean-busy gauge. The provider
+    /// captures a clone of this handle, so it stays valid for the
+    /// registry's lifetime.
     pub fn register_counters(&self, registry: &mut apex_lite::CounterRegistry, prefix: &str) {
         let h = self.clone();
         registry.register(prefix, move |c| {
@@ -376,14 +409,31 @@ impl Handle {
             c.count("parks", s.parks);
             c.count("yields", s.yields);
             c.count("panics", s.panics);
-            for (i, w) in h.worker_stats().into_iter().enumerate() {
+            let per = h.worker_stats();
+            c.gauge("imbalance", imbalance(&per));
+            for (i, w) in per.into_iter().enumerate() {
                 c.count(&format!("worker{i}/executed"), w.tasks_executed);
                 c.count(&format!("worker{i}/steals"), w.steals);
                 c.count(&format!("worker{i}/parks"), w.parks);
                 c.count(&format!("worker{i}/yields"), w.yields);
+                c.count(&format!("worker{i}/busy_ns"), w.busy_ns);
+                c.count(&format!("worker{i}/park_ns"), w.park_ns);
             }
         });
     }
+}
+
+/// Load-imbalance ratio over a set of workers: max busy time / mean busy
+/// time. `1.0` is perfectly balanced; `0.0` means no recorded busy time
+/// (or no workers). This is the `/runtime/imbalance` gauge the ROADMAP's
+/// scale-out and autotuner items consume.
+pub fn imbalance(stats: &[WorkerStats]) -> f64 {
+    let total: u64 = stats.iter().map(|w| w.busy_ns).sum();
+    if stats.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let max = stats.iter().map(|w| w.busy_ns).max().unwrap_or(0) as f64;
+    max / (total as f64 / stats.len() as f64)
 }
 
 fn push_task(shared: &Arc<Shared>, task: Task) {
@@ -706,7 +756,65 @@ mod tests {
         assert!(s.count("/runtime/tasks_executed") >= 50);
         assert!(s.get("/runtime/worker0/executed").is_some());
         assert!(s.get("/runtime/worker1/steals").is_some());
-        // Totals + 4 counters per worker.
-        assert_eq!(s.len(), 6 + 2 * 4);
+        assert!(s.get("/runtime/worker0/busy_ns").is_some());
+        assert!(s.get("/runtime/worker1/park_ns").is_some());
+        assert!(
+            matches!(
+                s.get("/runtime/imbalance"),
+                Some(apex_lite::CounterValue::Gauge(_))
+            ),
+            "imbalance must be a gauge: {:?}",
+            s.get("/runtime/imbalance")
+        );
+        // Totals + imbalance gauge + 6 counters per worker.
+        assert_eq!(s.len(), 6 + 1 + 2 * 6);
+    }
+
+    #[test]
+    fn busy_time_accrues_and_imbalance_is_sane() {
+        let rt = Runtime::new(2);
+        let fs: Vec<_> = (0..64)
+            .map(|i| {
+                rt.spawn(move || {
+                    let mut x = i as u64;
+                    for _ in 0..100_000 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    std::hint::black_box(x)
+                })
+            })
+            .collect();
+        for f in fs {
+            f.get();
+        }
+        let per = rt.worker_stats();
+        let busy: u64 = per.iter().map(|w| w.busy_ns).sum();
+        assert!(busy > 0, "no busy time recorded: {per:?}");
+        let r = imbalance(&per);
+        // max/mean over n workers is bounded by [1, n].
+        assert!((1.0..=per.len() as f64).contains(&r), "imbalance {r}");
+        // Parked workers accrue park time (the pool idles after the burst).
+        std::thread::sleep(Duration::from_millis(5));
+        let parked: u64 = rt.worker_stats().iter().map(|w| w.park_ns).sum();
+        assert!(parked > 0, "no park time recorded");
+    }
+
+    #[test]
+    fn imbalance_edge_cases() {
+        assert_eq!(imbalance(&[]), 0.0);
+        let zero = WorkerStats::default();
+        assert_eq!(imbalance(&[zero, zero]), 0.0);
+        let a = WorkerStats {
+            busy_ns: 300,
+            ..WorkerStats::default()
+        };
+        let b = WorkerStats {
+            busy_ns: 100,
+            ..WorkerStats::default()
+        };
+        // max 300, mean 200 → 1.5.
+        assert!((imbalance(&[a, b]) - 1.5).abs() < 1e-12);
+        // Perfectly balanced → 1.0.
+        assert!((imbalance(&[a, a]) - 1.0).abs() < 1e-12);
     }
 }

@@ -86,52 +86,10 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match apex_lite::validate(&text) {
-            Ok(summary) => {
-                let mut problems: Vec<String> = Vec::new();
-                if summary.spans < min_spans {
-                    problems.push(format!(
-                        "only {} spans (need >= {min_spans})",
-                        summary.spans
-                    ));
-                }
-                for tok in &require {
-                    if summary.count_cat(tok) == 0 && summary.count_name(tok) == 0 {
-                        problems.push(format!(
-                            "no events with required category or span name {tok:?}"
-                        ));
-                    }
-                }
-                for (a, b) in &require_overlap {
-                    let ns = summary.overlap_ns(a, b);
-                    if ns == 0 {
-                        problems.push(format!(
-                            "spans {a:?} and {b:?} never overlapped in wall-clock time \
-                             ({} {a:?} spans, {} {b:?} spans)",
-                            summary.count_name(a),
-                            summary.count_name(b)
-                        ));
-                    } else {
-                        println!("{file}: overlap {a:?}/{b:?} = {ns} ns");
-                    }
-                }
-                if problems.is_empty() {
-                    let cats: Vec<String> = summary
-                        .by_cat
-                        .iter()
-                        .map(|(c, n)| format!("{c}:{n}"))
-                        .collect();
-                    println!(
-                        "{file}: OK — {} spans, {} instants, {} threads, {} localities [{}]",
-                        summary.spans,
-                        summary.instants,
-                        summary.threads,
-                        summary.pids,
-                        cats.join(" ")
-                    );
-                } else {
-                    eprintln!("{file}: FAIL: {}", problems.join("; "));
-                    failed = true;
+        match check_text(&text, min_spans, &require, &require_overlap) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{file}: {line}");
                 }
             }
             Err(e) => {
@@ -144,6 +102,155 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Validate one trace document and apply the CLI's checks. Returns the
+/// report lines to print (last one the `OK` summary) or a combined
+/// failure message. Pure so the failure paths are unit-testable.
+fn check_text(
+    text: &str,
+    min_spans: u64,
+    require: &[String],
+    require_overlap: &[(String, String)],
+) -> Result<Vec<String>, String> {
+    if text.trim().is_empty() {
+        return Err("empty trace file (no JSON document; was the run traced at all?)".into());
+    }
+    let summary = apex_lite::validate(text)?;
+    let events = summary.spans + summary.instants + summary.counter_events;
+    if events == 0 {
+        return Err(
+            "trace contains zero events (valid JSON but nothing was recorded; \
+             was tracing enabled before the run?)"
+                .into(),
+        );
+    }
+    let mut lines: Vec<String> = Vec::new();
+    let mut problems: Vec<String> = Vec::new();
+    if summary.spans < min_spans {
+        problems.push(format!(
+            "only {} spans (need >= {min_spans})",
+            summary.spans
+        ));
+    }
+    for tok in require {
+        if summary.count_cat(tok) == 0 && summary.count_name(tok) == 0 {
+            problems.push(format!(
+                "required token {tok:?} matched zero span names and zero categories \
+                 (categories present: [{}])",
+                summary
+                    .by_cat
+                    .keys()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+    }
+    for (a, b) in require_overlap {
+        let ns = summary.overlap_ns(a, b);
+        if ns == 0 {
+            problems.push(format!(
+                "spans {a:?} and {b:?} never overlapped in wall-clock time \
+                 ({} {a:?} spans, {} {b:?} spans)",
+                summary.count_name(a),
+                summary.count_name(b)
+            ));
+        } else {
+            lines.push(format!("overlap {a:?}/{b:?} = {ns} ns"));
+        }
+    }
+    if !problems.is_empty() {
+        return Err(problems.join("; "));
+    }
+    let cats: Vec<String> = summary
+        .by_cat
+        .iter()
+        .map(|(c, n)| format!("{c}:{n}"))
+        .collect();
+    lines.push(format!(
+        "OK — {} spans, {} instants, {} threads, {} localities [{}]",
+        summary.spans,
+        summary.instants,
+        summary.threads,
+        summary.pids,
+        cats.join(" ")
+    ));
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_text;
+    use apex_lite::trace::{Cat, Event, EventKind, ThreadMeta, Trace};
+
+    fn one_span_trace() -> String {
+        apex_lite::export(&Trace {
+            threads: vec![(
+                ThreadMeta {
+                    pid: 0,
+                    tid: 0,
+                    name: "worker0".into(),
+                },
+                vec![Event {
+                    cat: Cat::Phase,
+                    name: "gravity_solve",
+                    ts_ns: 100,
+                    kind: EventKind::Span { dur_ns: 50 },
+                }],
+            )],
+            dropped: 0,
+        })
+    }
+
+    #[test]
+    fn empty_file_fails_with_clear_message() {
+        for text in ["", "   \n\t "] {
+            let err = check_text(text, 0, &[], &[]).unwrap_err();
+            assert!(err.contains("empty trace file"), "{err}");
+        }
+    }
+
+    #[test]
+    fn zero_event_trace_fails_with_clear_message() {
+        let err = check_text(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}",
+            0,
+            &[],
+            &[],
+        )
+        .unwrap_err();
+        assert!(err.contains("zero events"), "{err}");
+    }
+
+    #[test]
+    fn require_matching_nothing_fails_and_names_present_cats() {
+        let text = one_span_trace();
+        let err = check_text(&text, 1, &["no_such_token".to_string()], &[]).unwrap_err();
+        assert!(err.contains("required token \"no_such_token\""), "{err}");
+        assert!(err.contains("zero span names and zero categories"), "{err}");
+        assert!(
+            err.contains("phase"),
+            "should list present categories: {err}"
+        );
+    }
+
+    #[test]
+    fn require_matches_name_or_category() {
+        let text = one_span_trace();
+        // By span name.
+        check_text(&text, 1, &["gravity_solve".to_string()], &[]).unwrap();
+        // By category.
+        let lines = check_text(&text, 1, &["phase".to_string()], &[]).unwrap();
+        assert!(lines.last().unwrap().starts_with("OK — 1 spans"));
+    }
+
+    #[test]
+    fn min_spans_enforced() {
+        let text = one_span_trace();
+        let err = check_text(&text, 2, &[], &[]).unwrap_err();
+        assert!(err.contains("only 1 spans (need >= 2)"), "{err}");
     }
 }
 

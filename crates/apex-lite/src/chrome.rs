@@ -15,6 +15,7 @@
 //! non-nested spans on one track as garbage, so we reject them here.
 
 use crate::json::{self, Value};
+use crate::sampler::TimeSeries;
 use crate::trace::{EventKind, Trace};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -34,7 +35,17 @@ fn push_meta(out: &mut String, kind: &str, pid: u32, tid: u32, name: &str) {
 
 /// Serialize `trace` as a Chrome trace-event JSON document.
 pub fn export(trace: &Trace) -> String {
-    let mut out = String::with_capacity(128 + trace.len() * 96);
+    export_with_counters(trace, &TimeSeries::default())
+}
+
+/// Serialize `trace` plus sampled counter time-series as one Chrome
+/// trace-event document: spans/instants as usual, and each counter series
+/// as `"C"` (counter) events Perfetto renders as per-name value tracks.
+/// Counter events ride on `pid 0, tid 0` (they are process-global, not
+/// lane-local) and are exempt from the per-thread ordering invariants.
+pub fn export_with_counters(trace: &Trace, series: &TimeSeries) -> String {
+    let n_points: usize = series.series.values().map(Vec::len).sum();
+    let mut out = String::with_capacity(128 + trace.len() * 96 + n_points * 64);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
 
     let mut seen_pids: Vec<u32> = Vec::new();
@@ -83,8 +94,38 @@ pub fn export(trace: &Trace) -> String {
             }
         }
     }
+    for (name, points) in &series.series {
+        for &(ts, v) in points {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("{\"ph\":\"C\",\"name\":\"");
+            json::escape_into(&mut out, name);
+            out.push_str("\",\"cat\":\"counter\",\"pid\":0,\"tid\":0,\"ts\":");
+            fmt_us(&mut out, ts);
+            let _ = write!(out, ",\"args\":{{\"value\":{v}}}}}");
+        }
+    }
     out.push_str("\n]}\n");
     out
+}
+
+/// One validated `"X"` span, with names resolved — the analyzer's input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Locality id.
+    pub pid: u64,
+    /// Thread id within the locality.
+    pub tid: u64,
+    /// Span name.
+    pub name: String,
+    /// Category string.
+    pub cat: String,
+    /// Start, integer ns.
+    pub ts: u64,
+    /// End (`ts + dur`), integer ns.
+    pub end: u64,
 }
 
 /// What [`validate`] learned about a trace file.
@@ -107,6 +148,21 @@ pub struct TraceSummary {
     /// same-thread partial overlap is a validation error), and that
     /// cross-thread overlap is exactly what a futurized scheduler produces.
     pub intervals_by_name: BTreeMap<String, Vec<(u64, u64)>>,
+    /// Every span with lane and names resolved, in file order — what the
+    /// critical-path / flamegraph analyzers consume.
+    pub records: Vec<SpanRecord>,
+    /// `(pid, tid)` → thread name from `"M"` metadata.
+    pub thread_names: BTreeMap<(u64, u64), String>,
+    /// `(pid, tid)` → instant-name counts (steal/yield accounting).
+    pub instants_by_thread: BTreeMap<(u64, u64), BTreeMap<String, u64>>,
+    /// Earliest span/instant start in the trace, ns.
+    pub first_ts_ns: u64,
+    /// Latest span end (or instant timestamp), ns.
+    pub last_end_ns: u64,
+    /// Number of `"C"` counter events.
+    pub counter_events: u64,
+    /// Counter series reassembled from `"C"` events: name → `(ts_ns, value)`.
+    pub counter_series: BTreeMap<String, Vec<(u64, f64)>>,
 }
 
 impl TraceSummary {
@@ -198,7 +254,10 @@ pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
         .and_then(Value::as_arr)
         .ok_or("missing traceEvents array")?;
 
-    let mut summary = TraceSummary::default();
+    let mut summary = TraceSummary {
+        first_ts_ns: u64::MAX, // normalized to 0 below if no events
+        ..TraceSummary::default()
+    };
     // Per (pid,tid): spans for the nesting check, and the completion time
     // of the last event seen in file order.
     let mut spans: BTreeMap<(u64, u64), Vec<SpanRec>> = BTreeMap::new();
@@ -213,10 +272,34 @@ pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
                 if name != "process_name" && name != "thread_name" {
                     return Err(format!("event {i}: unknown metadata {name:?}"));
                 }
-                ev.get("args")
+                let label = ev
+                    .get("args")
                     .and_then(|a| a.get("name"))
                     .and_then(Value::as_str)
                     .ok_or_else(|| format!("event {i}: metadata missing args.name"))?;
+                if name == "thread_name" {
+                    let pid = req_num(ev, "pid").map_err(|e| format!("event {i}: {e}"))? as u64;
+                    let tid = req_num(ev, "tid").map_err(|e| format!("event {i}: {e}"))? as u64;
+                    summary.thread_names.insert((pid, tid), label.to_string());
+                }
+            }
+            "C" => {
+                // Counter samples: process-global value tracks. Exempt from
+                // the per-lane ordering/nesting invariants below — the
+                // sampler thread writes them on its own clock.
+                let name = req_str(ev, "name").map_err(|e| format!("event {i}: {e}"))?;
+                let ts = us_to_ns(req_num(ev, "ts").map_err(|e| format!("event {i}: {e}"))?)?;
+                let value = ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: counter missing numeric args.value"))?;
+                summary.counter_events += 1;
+                summary
+                    .counter_series
+                    .entry(name.to_string())
+                    .or_default()
+                    .push((ts, value));
             }
             "X" | "i" => {
                 let name = req_str(ev, "name").map_err(|e| format!("event {i}: {e}"))?;
@@ -239,13 +322,29 @@ pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
                         .entry(name.to_string())
                         .or_default()
                         .push((ts, end));
+                    summary.records.push(SpanRecord {
+                        pid,
+                        tid,
+                        name: name.to_string(),
+                        cat: cat.to_string(),
+                        ts,
+                        end,
+                    });
                     summary.spans += 1;
                     end
                 } else {
                     req_str(ev, "s").map_err(|e| format!("event {i}: {e}"))?;
+                    *summary
+                        .instants_by_thread
+                        .entry(key)
+                        .or_default()
+                        .entry(name.to_string())
+                        .or_insert(0) += 1;
                     summary.instants += 1;
                     ts
                 };
+                summary.first_ts_ns = summary.first_ts_ns.min(ts);
+                summary.last_end_ns = summary.last_end_ns.max(done);
                 // Ring buffers record at completion: file order per thread
                 // must be non-decreasing in completion time.
                 if let Some(prev) = last_done.get(&key) {
@@ -291,6 +390,9 @@ pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
 
     summary.threads = last_done.len();
     summary.pids = pids.len();
+    if summary.first_ts_ns == u64::MAX {
+        summary.first_ts_ns = 0;
+    }
     Ok(summary)
 }
 
@@ -438,6 +540,50 @@ mod tests {
         // Empty trace is valid.
         let s = validate("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}").unwrap();
         assert_eq!(s.spans + s.instants, 0);
+    }
+
+    #[test]
+    fn counter_events_round_trip() {
+        let trace = Trace {
+            threads: vec![(
+                meta(0, 1, "worker0"),
+                vec![span_ev("gravity_solve", Cat::Phase, 1000, 4000)],
+            )],
+            dropped: 0,
+        };
+        let mut series = crate::sampler::TimeSeries::default();
+        let mut snap = crate::counters::CounterSnapshot::new();
+        snap.set_count("/runtime/steals", 2);
+        snap.set_gauge("/runtime/imbalance", 1.5);
+        series.push(2_000, &snap);
+        snap.set_count("/runtime/steals", 7);
+        series.push(4_500, &snap);
+        let out = export_with_counters(&trace, &series);
+        let s = validate(&out).unwrap();
+        assert_eq!(s.spans, 1);
+        assert_eq!(s.counter_events, 4);
+        assert_eq!(
+            s.counter_series["/runtime/steals"],
+            vec![(2_000, 2.0), (4_500, 7.0)]
+        );
+        assert_eq!(s.counter_series["/runtime/imbalance"][1], (4_500, 1.5));
+        // Counter events don't perturb the span summary or wall window.
+        assert_eq!((s.first_ts_ns, s.last_end_ns), (1000, 5000));
+        assert_eq!(s.threads, 1);
+        // Metadata captured the thread label; the record carries the lane.
+        assert_eq!(s.thread_names[&(0, 1)], "worker0");
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].name, "gravity_solve");
+        assert_eq!(s.records[0].cat, "phase");
+        assert_eq!((s.records[0].ts, s.records[0].end), (1000, 5000));
+    }
+
+    #[test]
+    fn rejects_counter_without_value() {
+        let bad = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\
+                   {\"ph\":\"C\",\"name\":\"/x\",\"pid\":0,\"tid\":0,\"ts\":1.0,\"args\":{}}]}";
+        let err = validate(bad).unwrap_err();
+        assert!(err.contains("counter missing numeric args.value"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! Critical-path and per-worker utilization analysis over a validated
+//! trace — the "what limited this run?" half of apex-lite.
+//!
+//! ## Critical-path definition
+//!
+//! The futurized step emits many concurrent same-name spans (one
+//! `gravity_solve` per leaf task), so a naive longest-chain over raw spans
+//! either double-counts concurrency or misses it. We instead analyse
+//! *phase activity segments*: for each phase name, the wall-clock union of
+//! all its spans (across every thread) is merged into disjoint segments —
+//! "some gravity work was in flight during [s, e)". The critical path is
+//! then the longest happens-before chain over the pooled segments: a
+//! sequence `seg_1, …, seg_k` with `end(seg_i) ≤ start(seg_{i+1})`
+//! maximising total covered time (weighted-interval-scheduling DP,
+//! O(n log n)).
+//!
+//! Two properties follow by construction and are what the tests gate on:
+//!
+//! * **path ≤ wall** — chain segments are pairwise disjoint and live
+//!   inside the trace's `[first_ts, last_end]` window;
+//! * **path ≥ max single-phase active time** — one phase's own merged
+//!   segments are disjoint and ordered, hence themselves a feasible
+//!   chain, so the optimum can only be longer.
+//!
+//! `wall − path` is the *slack*: wall-clock time where no chained phase
+//! segment was open (scheduler gaps, non-phase work). Per-phase rows
+//! split the path into contributions so "gravity is 60% of the critical
+//! path" is a one-line read.
+
+use crate::chrome::TraceSummary;
+use std::collections::BTreeMap;
+
+/// One merged activity segment of a named phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSegment {
+    /// Phase (span) name this segment belongs to.
+    pub name: String,
+    /// Segment start, ns on the trace clock.
+    pub start_ns: u64,
+    /// Segment end, ns on the trace clock.
+    pub end_ns: u64,
+}
+
+impl PhaseSegment {
+    fn dur(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Per-phase breakdown of the critical path.
+#[derive(Debug, Clone)]
+pub struct PhaseContribution {
+    /// Phase name.
+    pub name: String,
+    /// Nanoseconds this phase contributes to the critical path.
+    pub path_ns: u64,
+    /// Total active (union) time of the phase across the whole run.
+    pub active_ns: u64,
+    /// Number of raw spans carrying this name.
+    pub spans: u64,
+}
+
+/// Result of [`critical_path`].
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPath {
+    /// Trace wall-clock window (last span/instant end − first start).
+    pub wall_ns: u64,
+    /// Total length of the longest chain.
+    pub path_ns: u64,
+    /// Wall time not covered by the chain (`wall_ns − path_ns`).
+    pub slack_ns: u64,
+    /// The chain itself, in time order.
+    pub segments: Vec<PhaseSegment>,
+    /// Per-phase contributions, largest `path_ns` first.
+    pub by_phase: Vec<PhaseContribution>,
+}
+
+/// Merge raw `[start, end)` intervals into a disjoint, ordered union.
+/// Touching intervals (`end == next start`) coalesce.
+pub fn merge_intervals(intervals: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut sorted = intervals.to_vec();
+    sorted.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::new();
+    for (s, e) in sorted {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    merged
+}
+
+/// Total nanoseconds covered by the union of `intervals`.
+pub fn union_ns(intervals: &[(u64, u64)]) -> u64 {
+    merge_intervals(intervals).iter().map(|(s, e)| e - s).sum()
+}
+
+/// Phase names to analyse when the caller doesn't pick any: every span
+/// name recorded under the `phase` category, in first-seen order.
+pub fn default_phases(summary: &TraceSummary) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for rec in &summary.records {
+        if rec.cat == "phase" && !names.iter().any(|n| n == &rec.name) {
+            names.push(rec.name.clone());
+        }
+    }
+    names
+}
+
+/// Compute the critical path through `phases` (see module docs for the
+/// definition). Unknown phase names contribute nothing; an empty trace or
+/// an empty phase list yields an empty path with `wall_ns` still set.
+pub fn critical_path(summary: &TraceSummary, phases: &[String]) -> CriticalPath {
+    let wall_ns = summary.last_end_ns.saturating_sub(summary.first_ts_ns);
+
+    // Pool each phase's merged activity segments.
+    let mut pool: Vec<PhaseSegment> = Vec::new();
+    let mut active: BTreeMap<&str, u64> = BTreeMap::new();
+    for name in phases {
+        let Some(intervals) = summary.intervals_by_name.get(name) else {
+            continue;
+        };
+        let merged = merge_intervals(intervals);
+        active.insert(name, merged.iter().map(|(s, e)| e - s).sum());
+        pool.extend(merged.into_iter().map(|(s, e)| PhaseSegment {
+            name: name.clone(),
+            start_ns: s,
+            end_ns: e,
+        }));
+    }
+    if pool.is_empty() {
+        return CriticalPath {
+            wall_ns,
+            slack_ns: wall_ns,
+            ..CriticalPath::default()
+        };
+    }
+
+    // Weighted-interval-scheduling DP over segments sorted by end:
+    // best[i] = max total duration of a chain ending at or before seg i.
+    pool.sort_by(|a, b| a.end_ns.cmp(&b.end_ns).then(a.start_ns.cmp(&b.start_ns)));
+    let n = pool.len();
+    let mut dp = vec![0u64; n]; // best chain ending exactly with segment i
+    let mut prev = vec![usize::MAX; n]; // predecessor segment index
+    let mut best_upto = vec![0u64; n]; // max dp[0..=i]
+    let mut best_idx = vec![0usize; n]; // argmax of best_upto
+    for i in 0..n {
+        // Rightmost j with end <= start_i (pool sorted by end).
+        let s = pool[i].start_ns;
+        let j = pool.partition_point(|seg| seg.end_ns <= s);
+        let (chain_before, pred) = if j == 0 {
+            (0, usize::MAX)
+        } else {
+            (best_upto[j - 1], best_idx[j - 1])
+        };
+        dp[i] = chain_before + pool[i].dur();
+        prev[i] = if chain_before > 0 { pred } else { usize::MAX };
+        let (bu, bi) = if i == 0 || dp[i] >= best_upto[i - 1] {
+            (dp[i], i)
+        } else {
+            (best_upto[i - 1], best_idx[i - 1])
+        };
+        best_upto[i] = bu;
+        best_idx[i] = bi;
+    }
+
+    // Reconstruct the optimal chain.
+    let mut segments: Vec<PhaseSegment> = Vec::new();
+    let mut at = best_idx[n - 1];
+    loop {
+        segments.push(pool[at].clone());
+        if prev[at] == usize::MAX {
+            break;
+        }
+        at = prev[at];
+    }
+    segments.reverse();
+    let path_ns = segments.iter().map(PhaseSegment::dur).sum();
+
+    let mut path_by_phase: BTreeMap<&str, u64> = BTreeMap::new();
+    for seg in &segments {
+        *path_by_phase.entry(seg.name.as_str()).or_insert(0) += seg.dur();
+    }
+    let mut by_phase: Vec<PhaseContribution> = phases
+        .iter()
+        .filter(|n| active.contains_key(n.as_str()))
+        .map(|n| PhaseContribution {
+            name: n.clone(),
+            path_ns: path_by_phase.get(n.as_str()).copied().unwrap_or(0),
+            active_ns: active.get(n.as_str()).copied().unwrap_or(0),
+            spans: summary.count_name(n),
+        })
+        .collect();
+    by_phase.sort_by(|a, b| b.path_ns.cmp(&a.path_ns).then(a.name.cmp(&b.name)));
+
+    CriticalPath {
+        wall_ns,
+        path_ns,
+        slack_ns: wall_ns.saturating_sub(path_ns),
+        segments,
+        by_phase,
+    }
+}
+
+/// One lane's utilization over the trace window.
+#[derive(Debug, Clone)]
+pub struct WorkerUtilization {
+    /// Locality id.
+    pub pid: u64,
+    /// Thread id within the locality.
+    pub tid: u64,
+    /// Thread name from trace metadata (empty when unnamed).
+    pub thread: String,
+    /// Union of non-`sched` span time on this lane (actual work).
+    pub busy_ns: u64,
+    /// Union of `park` span time (idle, waiting for work).
+    pub park_ns: u64,
+    /// `steal` instants recorded on this lane.
+    pub steals: u64,
+    /// `yield` instants recorded on this lane.
+    pub yields: u64,
+    /// Trace wall window the fractions are relative to.
+    pub wall_ns: u64,
+}
+
+impl WorkerUtilization {
+    /// Busy fraction of the trace window (0 when the window is empty).
+    pub fn busy_frac(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
+        }
+    }
+
+    /// Parked fraction of the trace window.
+    pub fn park_frac(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.park_ns as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+/// Per-lane busy/park/steal/yield accounting, ordered by (pid, tid).
+/// Every lane carrying at least one span or instant gets a row.
+pub fn worker_utilization(summary: &TraceSummary) -> Vec<WorkerUtilization> {
+    let wall_ns = summary.last_end_ns.saturating_sub(summary.first_ts_ns);
+    let mut busy: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    let mut park: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    for rec in &summary.records {
+        let key = (rec.pid, rec.tid);
+        if rec.cat == "sched" {
+            park.entry(key).or_default().push((rec.ts, rec.end));
+            busy.entry(key).or_default();
+        } else {
+            busy.entry(key).or_default().push((rec.ts, rec.end));
+        }
+    }
+    for key in summary.instants_by_thread.keys() {
+        busy.entry(*key).or_default();
+    }
+    busy.into_iter()
+        .map(|((pid, tid), spans)| {
+            let instants = summary.instants_by_thread.get(&(pid, tid));
+            let count = |name: &str| -> u64 {
+                instants
+                    .and_then(|m| m.get(name))
+                    .copied()
+                    .unwrap_or_default()
+            };
+            WorkerUtilization {
+                pid,
+                tid,
+                thread: summary
+                    .thread_names
+                    .get(&(pid, tid))
+                    .cloned()
+                    .unwrap_or_default(),
+                busy_ns: union_ns(&spans),
+                park_ns: park.get(&(pid, tid)).map(|p| union_ns(p)).unwrap_or(0),
+                steals: count("steal"),
+                yields: count("yield"),
+                wall_ns,
+            }
+        })
+        .collect()
+}
+
+/// Imbalance ratio (max busy / mean busy) over the worker lanes — lanes
+/// whose thread name contains `"worker"`, falling back to all lanes when
+/// none are labelled. `1.0` is perfectly balanced; `0.0` means no busy
+/// time at all. Matches the `/runtime/imbalance` counter definition.
+pub fn imbalance_ratio(util: &[WorkerUtilization]) -> f64 {
+    let workers: Vec<&WorkerUtilization> = {
+        let labelled: Vec<&WorkerUtilization> = util
+            .iter()
+            .filter(|u| u.thread.contains("worker"))
+            .collect();
+        if labelled.is_empty() {
+            util.iter().collect()
+        } else {
+            labelled
+        }
+    };
+    let total: u64 = workers.iter().map(|u| u.busy_ns).sum();
+    if workers.is_empty() || total == 0 {
+        return 0.0;
+    }
+    let max = workers.iter().map(|u| u.busy_ns).max().unwrap_or(0) as f64;
+    max / (total as f64 / workers.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{export, validate};
+    use crate::trace::{Cat, Event, EventKind, ThreadMeta, Trace};
+
+    fn meta(pid: u32, tid: u32, name: &str) -> ThreadMeta {
+        ThreadMeta {
+            pid,
+            tid,
+            name: name.to_string(),
+        }
+    }
+
+    fn span_ev(name: &'static str, cat: Cat, ts: u64, dur: u64) -> Event {
+        Event {
+            cat,
+            name,
+            ts_ns: ts,
+            kind: EventKind::Span { dur_ns: dur },
+        }
+    }
+
+    fn instant_ev(name: &'static str, cat: Cat, ts: u64) -> Event {
+        Event {
+            cat,
+            name,
+            ts_ns: ts,
+            kind: EventKind::Instant,
+        }
+    }
+
+    fn phases(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Hand-computed fixture: two workers, overlapping same-name spans.
+    ///
+    /// ```text
+    /// w0: gravity [0,1000)            hydro [3000,5000)
+    /// w1: gravity [500,1500)  comm [1500,2000)   hydro [4000,6000)
+    /// ```
+    /// gravity union [0,1500), comm [1500,2000), hydro union [3000,6000)
+    /// → chain g+c+h = 1500+500+3000 = 5000, wall 6000, slack 1000.
+    fn fixture() -> TraceSummary {
+        let trace = Trace {
+            threads: vec![
+                (
+                    meta(0, 1, "worker0"),
+                    vec![
+                        span_ev("gravity_solve", Cat::Phase, 0, 1000),
+                        instant_ev("steal", Cat::Sched, 2500),
+                        span_ev("hydro_step", Cat::Phase, 3000, 2000),
+                    ],
+                ),
+                (
+                    meta(0, 2, "worker1"),
+                    vec![
+                        span_ev("gravity_solve", Cat::Phase, 500, 1000),
+                        span_ev("comm_flush", Cat::Phase, 1500, 500),
+                        span_ev("park", Cat::Sched, 2000, 1000),
+                        span_ev("hydro_step", Cat::Phase, 4000, 2000),
+                    ],
+                ),
+            ],
+            dropped: 0,
+        };
+        validate(&export(&trace)).unwrap()
+    }
+
+    #[test]
+    fn hand_computed_critical_path() {
+        let s = fixture();
+        let names = default_phases(&s);
+        assert_eq!(
+            names,
+            phases(&["gravity_solve", "hydro_step", "comm_flush"])
+        );
+        let cp = critical_path(&s, &phases(&["gravity_solve", "comm_flush", "hydro_step"]));
+        assert_eq!(cp.wall_ns, 6000);
+        assert_eq!(cp.path_ns, 5000);
+        assert_eq!(cp.slack_ns, 1000);
+        assert_eq!(cp.segments.len(), 3);
+        assert_eq!(cp.segments[0].name, "gravity_solve");
+        assert_eq!((cp.segments[0].start_ns, cp.segments[0].end_ns), (0, 1500));
+        assert_eq!(cp.segments[1].name, "comm_flush");
+        assert_eq!(cp.segments[2].name, "hydro_step");
+        assert_eq!(
+            (cp.segments[2].start_ns, cp.segments[2].end_ns),
+            (3000, 6000)
+        );
+        // hydro contributes most, then gravity, then comm.
+        assert_eq!(cp.by_phase[0].name, "hydro_step");
+        assert_eq!(cp.by_phase[0].path_ns, 3000);
+        assert_eq!(cp.by_phase[0].active_ns, 3000);
+        assert_eq!(cp.by_phase[0].spans, 2);
+        assert_eq!(cp.by_phase[1].name, "gravity_solve");
+        assert_eq!(cp.by_phase[1].path_ns, 1500);
+    }
+
+    #[test]
+    fn path_bounds_hold() {
+        let s = fixture();
+        let names = default_phases(&s);
+        let cp = critical_path(&s, &names);
+        assert!(cp.path_ns <= cp.wall_ns);
+        for p in &cp.by_phase {
+            assert!(
+                cp.path_ns >= p.active_ns,
+                "path {} < active {} for {}",
+                cp.path_ns,
+                p.active_ns,
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn hand_computed_utilization() {
+        let s = fixture();
+        let util = worker_utilization(&s);
+        assert_eq!(util.len(), 2);
+        let w0 = &util[0];
+        assert_eq!((w0.pid, w0.tid, w0.thread.as_str()), (0, 1, "worker0"));
+        assert_eq!(w0.busy_ns, 3000); // [0,1000) + [3000,5000)
+        assert_eq!(w0.park_ns, 0);
+        assert_eq!(w0.steals, 1);
+        let w1 = &util[1];
+        assert_eq!(w1.busy_ns, 3500); // [500,2000) + [4000,6000)
+        assert_eq!(w1.park_ns, 1000);
+        assert!((w0.busy_frac() - 0.5).abs() < 1e-12);
+        // imbalance = max/mean = 3500 / 3250.
+        let r = imbalance_ratio(&util);
+        assert!((r - 3500.0 / 3250.0).abs() < 1e-12, "{r}");
+    }
+
+    #[test]
+    fn empty_and_unknown_phases() {
+        let s = fixture();
+        let cp = critical_path(&s, &phases(&["no_such_phase"]));
+        assert_eq!(cp.path_ns, 0);
+        assert_eq!(cp.slack_ns, cp.wall_ns);
+        assert!(cp.segments.is_empty());
+        let empty = validate("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}").unwrap();
+        let cp = critical_path(&empty, &phases(&["gravity_solve"]));
+        assert_eq!((cp.wall_ns, cp.path_ns), (0, 0));
+        assert!(worker_utilization(&empty).is_empty());
+        assert_eq!(imbalance_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn interval_union_merges_touching_and_overlapping() {
+        assert_eq!(
+            merge_intervals(&[(5, 9), (0, 3), (3, 5), (20, 30)]),
+            vec![(0, 9), (20, 30)]
+        );
+        assert_eq!(union_ns(&[(0, 10), (5, 15), (40, 41)]), 16);
+        assert_eq!(union_ns(&[]), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Collapsed-stack flamegraph export.
+//!
+//! Rebuilds each lane's span nesting (the validator already guarantees
+//! strict nesting per thread) and emits the classic semicolon-separated
+//! collapsed format that `flamegraph.pl` and inferno consume:
+//!
+//! ```text
+//! locality0;worker1;gravity_solve;m2l 48210
+//! ```
+//!
+//! The count column is *self time in nanoseconds* — a span's duration
+//! minus its children's — so the flame widths are exact wall time rather
+//! than sampled approximations. Lanes root at `locality{pid};{thread}` so
+//! multi-locality traces stay separable in one graph.
+
+use crate::chrome::{SpanRecord, TraceSummary};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate self-time per collapsed stack, in stack order.
+pub fn collapsed_stacks(summary: &TraceSummary) -> BTreeMap<String, u64> {
+    let mut by_lane: BTreeMap<(u64, u64), Vec<&SpanRecord>> = BTreeMap::new();
+    for rec in &summary.records {
+        by_lane.entry((rec.pid, rec.tid)).or_default().push(rec);
+    }
+
+    struct Frame<'a> {
+        rec: &'a SpanRecord,
+        child_ns: u64,
+    }
+
+    let mut out: BTreeMap<String, u64> = BTreeMap::new();
+    for ((pid, tid), mut recs) in by_lane {
+        // Same ordering as the validator's nesting sweep: parents first.
+        recs.sort_by(|a, b| a.ts.cmp(&b.ts).then(b.end.cmp(&a.end)));
+        let thread = summary
+            .thread_names
+            .get(&(pid, tid))
+            .cloned()
+            .unwrap_or_else(|| format!("tid{tid}"));
+        let root = format!("locality{pid};{thread}");
+
+        let mut stack: Vec<Frame<'_>> = Vec::new();
+        let emit = |stack: &mut Vec<Frame<'_>>, out: &mut BTreeMap<String, u64>| {
+            let top = stack.pop().expect("emit on empty stack");
+            let dur = top.rec.end - top.rec.ts;
+            let self_ns = dur.saturating_sub(top.child_ns);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_ns += dur;
+            }
+            let mut key = root.clone();
+            for f in stack.iter() {
+                let _ = write!(key, ";{}", f.rec.name);
+            }
+            let _ = write!(key, ";{}", top.rec.name);
+            *out.entry(key).or_insert(0) += self_ns;
+        };
+        for rec in recs {
+            while stack.last().is_some_and(|top| top.rec.end <= rec.ts) {
+                emit(&mut stack, &mut out);
+            }
+            stack.push(Frame { rec, child_ns: 0 });
+        }
+        while !stack.is_empty() {
+            emit(&mut stack, &mut out);
+        }
+    }
+    out
+}
+
+/// Render collapsed stacks as `stack count` lines (flamegraph.pl input).
+pub fn render_collapsed(stacks: &BTreeMap<String, u64>) -> String {
+    let mut out = String::with_capacity(stacks.len() * 48);
+    for (stack, ns) in stacks {
+        let _ = writeln!(out, "{stack} {ns}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::{export, validate};
+    use crate::trace::{Cat, Event, EventKind, ThreadMeta, Trace};
+
+    fn span_ev(name: &'static str, cat: Cat, ts: u64, dur: u64) -> Event {
+        Event {
+            cat,
+            name,
+            ts_ns: ts,
+            kind: EventKind::Span { dur_ns: dur },
+        }
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        // worker0: solve [0,1000) with children m2l [100,400) and
+        // p2p [500,800); sibling flush [1200,1300).
+        // Ring buffers record at close: children precede the parent.
+        let trace = Trace {
+            threads: vec![(
+                ThreadMeta {
+                    pid: 0,
+                    tid: 1,
+                    name: "worker0".into(),
+                },
+                vec![
+                    span_ev("m2l", Cat::Gravity, 100, 300),
+                    span_ev("p2p", Cat::Gravity, 500, 300),
+                    span_ev("gravity_solve", Cat::Phase, 0, 1000),
+                    span_ev("flush", Cat::Comm, 1200, 100),
+                ],
+            )],
+            dropped: 0,
+        };
+        let s = validate(&export(&trace)).unwrap();
+        let stacks = collapsed_stacks(&s);
+        assert_eq!(stacks.len(), 4);
+        assert_eq!(stacks["locality0;worker0;gravity_solve"], 400);
+        assert_eq!(stacks["locality0;worker0;gravity_solve;m2l"], 300);
+        assert_eq!(stacks["locality0;worker0;gravity_solve;p2p"], 300);
+        assert_eq!(stacks["locality0;worker0;flush"], 100);
+        let text = render_collapsed(&stacks);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("locality0;worker0;gravity_solve;m2l 300\n"));
+        // Total self time equals total non-overlapping span time.
+        let total: u64 = stacks.values().sum();
+        assert_eq!(total, 1000 + 100);
+    }
+
+    #[test]
+    fn repeated_stacks_aggregate() {
+        let trace = Trace {
+            threads: vec![(
+                ThreadMeta {
+                    pid: 1,
+                    tid: 7,
+                    name: "worker3".into(),
+                },
+                vec![
+                    span_ev("task", Cat::Task, 0, 10),
+                    span_ev("task", Cat::Task, 20, 30),
+                ],
+            )],
+            dropped: 0,
+        };
+        let s = validate(&export(&trace)).unwrap();
+        let stacks = collapsed_stacks(&s);
+        assert_eq!(stacks.len(), 1);
+        assert_eq!(stacks["locality1;worker3;task"], 40);
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let s = validate("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}").unwrap();
+        let stacks = collapsed_stacks(&s);
+        assert!(stacks.is_empty());
+        assert!(render_collapsed(&stacks).is_empty());
+    }
+}

@@ -28,6 +28,14 @@ impl Value {
         }
     }
 
+    /// Boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// String payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -22,6 +22,14 @@
 //! * [`chrome`] — a Chrome trace-event JSON exporter
 //!   (`about://tracing` / Perfetto-loadable) plus a validator used by the
 //!   round-trip tests and the `trace_check` CI binary.
+//! * [`sampler`] — a background thread sampling a shared
+//!   [`CounterRegistry`] on a wall-clock cadence into bounded per-series
+//!   ring buffers; exports as Chrome `"C"` counter tracks or CSV.
+//! * [`critpath`] — the trace analyzer: critical path through the phase
+//!   span DAG, per-worker utilization, and the `/runtime/imbalance`
+//!   max/mean-busy ratio (the `trace_report` binary's engine).
+//! * [`flame`] — collapsed-stack flamegraph export (self-time-exact,
+//!   `flamegraph.pl`/inferno-compatible).
 //! * [`json`] — the minimal JSON parser backing the validator.
 //!
 //! Everything upstream gates on [`trace::enabled`], so a run without
@@ -29,13 +37,22 @@
 
 pub mod chrome;
 pub mod counters;
+pub mod critpath;
+pub mod flame;
 pub mod json;
+pub mod sampler;
 pub mod trace;
 
-pub use chrome::{export, validate, TraceSummary};
+pub use chrome::{export, export_with_counters, validate, SpanRecord, TraceSummary};
 pub use counters::{
     render_step_table, render_table, Collector, CounterRegistry, CounterSnapshot, CounterValue,
 };
+pub use critpath::{
+    critical_path, default_phases, imbalance_ratio, worker_utilization, CriticalPath,
+    PhaseContribution, PhaseSegment, WorkerUtilization,
+};
+pub use flame::{collapsed_stacks, render_collapsed};
+pub use sampler::{Sampler, TimeSeries, SERIES_CAPACITY};
 pub use trace::{
     drain, enabled, instant, now_ns, reset, set_enabled, set_thread_label, span, tracer_allocs,
     Cat, Event, EventKind, SpanGuard, ThreadLabel, ThreadMeta, Trace, RING_CAPACITY,

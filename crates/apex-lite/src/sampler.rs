@@ -1,0 +1,198 @@
+//! Periodic counter sampler — time-series over a [`CounterRegistry`].
+//!
+//! HPX's counter framework can be asked to sample every N milliseconds
+//! (`--hpx:print-counter-interval`); APEX does the same for its tasks-vs-
+//! time plots. This module is that half for the reproduction: a background
+//! OS thread snapshots a shared registry on a wall-clock cadence into
+//! per-series ring buffers, and the result exports as Chrome `"C"`
+//! (counter) events merged into the span trace
+//! ([`crate::chrome::export_with_counters`]) or as a CSV text dump
+//! ([`TimeSeries::render_csv`]).
+//!
+//! Discipline mirrors the tracer's: when no `--sample_interval_ms` is
+//! given nothing here is constructed — no thread, no allocation, no atomic
+//! in any hot path. The sampler thread is the only writer; workers never
+//! see it except through the same relaxed atomics their counters already
+//! use. Ring capacity is bounded ([`SERIES_CAPACITY`] points per series);
+//! beyond it the oldest points are dropped and counted, so a long run
+//! degrades to a coarser tail instead of unbounded memory.
+
+use crate::counters::{CounterRegistry, CounterSnapshot};
+use crate::trace;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Maximum retained points per series; older points are dropped (counted
+/// in [`TimeSeries::dropped`]). At a 10 ms cadence this holds ~40 s of
+/// history per series.
+pub const SERIES_CAPACITY: usize = 4096;
+
+/// Sampled counter time-series: per path, `(ts_ns, value)` points in
+/// sample order. Timestamps share the tracer's clock ([`trace::now_ns`])
+/// so counter points line up with spans in the merged Chrome export.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    /// Path → `(ts_ns, value)` points, oldest first.
+    pub series: BTreeMap<String, Vec<(u64, f64)>>,
+    /// Sampling ticks taken.
+    pub samples: u64,
+    /// Points evicted by the per-series ring capacity.
+    pub dropped: u64,
+}
+
+impl TimeSeries {
+    /// Fold one snapshot in at time `ts_ns`.
+    pub fn push(&mut self, ts_ns: u64, snap: &CounterSnapshot) {
+        self.samples += 1;
+        for (path, v) in snap.iter() {
+            let points = self.series.entry(path.to_string()).or_default();
+            if points.len() >= SERIES_CAPACITY {
+                points.remove(0);
+                self.dropped += 1;
+            }
+            points.push((ts_ns, v.as_f64()));
+        }
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when nothing was sampled.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Most recent value of `path`, if sampled.
+    pub fn last(&self, path: &str) -> Option<f64> {
+        self.series.get(path)?.last().map(|&(_, v)| v)
+    }
+
+    /// Render as CSV text (the `--metrics-out` format): one comment
+    /// header, a column header, then one `series,ts_ms,value` row per
+    /// point, grouped by series in path order.
+    pub fn render_csv(&self) -> String {
+        let mut out = format!(
+            "# apex-lite counter time-series: {} series, {} samples, {} dropped\n\
+             series,ts_ms,value\n",
+            self.len(),
+            self.samples,
+            self.dropped
+        );
+        for (path, points) in &self.series {
+            for &(ts, v) in points {
+                let _ = writeln!(out, "{path},{}.{:06},{v}", ts / 1_000_000, ts % 1_000_000);
+            }
+        }
+        out
+    }
+}
+
+/// Handle on a running background sampler. Dropping it without calling
+/// [`Sampler::stop`] detaches the thread (it keeps sampling until process
+/// exit); call `stop` to join and collect the series.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    join: JoinHandle<TimeSeries>,
+}
+
+impl Sampler {
+    /// Spawn the sampling thread: one [`CounterRegistry::sample`] per
+    /// `interval` tick. The first sample is taken immediately, and `stop`
+    /// takes one final sample before joining, so even a very short run
+    /// yields at least two points per series.
+    pub fn start(registry: Arc<CounterRegistry>, interval: Duration) -> Sampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name("apex-sampler".into())
+            .spawn(move || {
+                let mut out = TimeSeries::default();
+                loop {
+                    out.push(trace::now_ns(), &registry.sample());
+                    if stop_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    // park_timeout instead of sleep so `stop` can cut the
+                    // final wait short via unpark.
+                    std::thread::park_timeout(interval);
+                }
+                out
+            })
+            .expect("spawn apex-sampler thread");
+        Sampler { stop, join }
+    }
+
+    /// Signal the thread, join it, and return the collected series.
+    pub fn stop(self) -> TimeSeries {
+        self.stop.store(true, Ordering::Release);
+        self.join.thread().unpark();
+        self.join.join().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::CounterRegistry;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn sampler_collects_monotone_series() {
+        let tick = Arc::new(AtomicU64::new(0));
+        let tick2 = Arc::clone(&tick);
+        let mut reg = CounterRegistry::new();
+        reg.register("/test", move |c| {
+            c.count("ticks", tick2.fetch_add(1, Ordering::Relaxed));
+            c.gauge("level", 2.5);
+        });
+        let sampler = Sampler::start(Arc::new(reg), Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(20));
+        let ts = sampler.stop();
+        assert!(ts.samples >= 2, "expected >=2 samples, got {}", ts.samples);
+        assert_eq!(ts.len(), 2);
+        let ticks = &ts.series["/test/ticks"];
+        assert!(ticks.windows(2).all(|w| w[0].0 <= w[1].0), "ts not sorted");
+        assert!(ticks.windows(2).all(|w| w[0].1 <= w[1].1), "count fell");
+        assert_eq!(ts.last("/test/level"), Some(2.5));
+        assert_eq!(ts.last("/test/absent"), None);
+    }
+
+    #[test]
+    fn ring_capacity_drops_oldest() {
+        let mut ts = TimeSeries::default();
+        let mut snap = CounterSnapshot::new();
+        for i in 0..(SERIES_CAPACITY as u64 + 10) {
+            snap.set_count("/x", i);
+            ts.push(i, &snap);
+        }
+        assert_eq!(ts.series["/x"].len(), SERIES_CAPACITY);
+        assert_eq!(ts.dropped, 10);
+        // Oldest went first: the head is sample 10, the tail the newest.
+        assert_eq!(ts.series["/x"][0].0, 10);
+        assert_eq!(ts.last("/x"), Some(SERIES_CAPACITY as f64 + 9.0));
+    }
+
+    #[test]
+    fn csv_lists_every_point() {
+        let mut ts = TimeSeries::default();
+        let mut snap = CounterSnapshot::new();
+        snap.set_count("/runtime/steals", 3);
+        snap.set_gauge("/runtime/imbalance", 1.25);
+        ts.push(1_500_000, &snap);
+        snap.set_count("/runtime/steals", 5);
+        ts.push(2_000_000, &snap);
+        let csv = ts.render_csv();
+        assert!(csv.starts_with("# apex-lite counter time-series: 2 series, 2 samples"));
+        assert!(csv.contains("series,ts_ms,value"));
+        assert!(csv.contains("/runtime/steals,1.500000,3"));
+        assert!(csv.contains("/runtime/steals,2.000000,5"));
+        assert!(csv.contains("/runtime/imbalance,1.500000,1.25"));
+        assert_eq!(csv.lines().count(), 2 + 4);
+    }
+}

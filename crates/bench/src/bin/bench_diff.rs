@@ -1,0 +1,638 @@
+//! bench_diff — the bench-regression gate.
+//!
+//! Re-runs the deterministic parts of the committed baseline benches and
+//! diffs them against `BENCH_gravity.json` / `BENCH_hydro.json` /
+//! `BENCH_scale.json` at the repo root, with per-metric tolerances:
+//!
+//! * **count metrics** (cache hits/misses, MAC evaluations, tasks spawned,
+//!   fused launches, leaf/cell counts, rebuild counters) must match the
+//!   baseline **exactly** — they are functions of the configuration, not of
+//!   the machine, so any drift is a behaviour change that slipped past the
+//!   unit tests;
+//! * **timing metrics** (driver/step/level wall seconds) must stay within
+//!   `--tolerance` (default 1.75×) of the baseline — but only when the
+//!   baseline's `host_simd_isa`/`compiled_simd_isa` headers match this
+//!   build and this is an optimized build. Otherwise the timings are
+//!   **skipped with a notice**: a baseline recorded with AVX-512 native
+//!   codegen says nothing about an SSE2 CI build, and flagging it would
+//!   just train people to ignore the gate;
+//! * **lower-bound metrics** (gravity/hydro overlap ratio) must not fall
+//!   more than a fixed slack below the baseline — the futurized task graph
+//!   overlapping phases is structural, not ISA-dependent.
+//!
+//! `BENCH_trace_overhead.json` is checked for internal consistency only
+//! (overhead within budget, zero disabled-path allocations): its numbers
+//! are produced and gated by `bench_trace` itself.
+//!
+//! `--self-test` exercises the comparison logic without running anything:
+//! a synthetic baseline diffed against itself must pass, and against a
+//! copy with every timing doubled must fail. `BENCH_SMOKE=1` limits the
+//! scale re-run to level 2 (deeper levels take minutes).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use amt::Runtime;
+use apex_lite::json::{self, Value};
+use octotiger::kernel_backend::{self, KernelType};
+use octotiger::{Driver, OctoConfig};
+
+/// Default allowed slowdown for timing metrics. Baselines are min-of-many
+/// on an idle machine; a fresh single run on a loaded CI box needs slack,
+/// while a genuine 2× regression must still trip the gate.
+const DEFAULT_TOLERANCE: f64 = 1.75;
+
+/// Allowed drop in overlap ratio below the baseline.
+const OVERLAP_SLACK: f64 = 0.25;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Class {
+    /// Deterministic count: must match exactly.
+    Count,
+    /// Wall-clock: fresh/baseline must stay ≤ tolerance; ISA-gated.
+    Timing,
+    /// Quality ratio: fresh must stay ≥ baseline − slack.
+    LowerBound(f64),
+}
+
+struct Cmp {
+    name: String,
+    baseline: f64,
+    fresh: f64,
+    class: Class,
+}
+
+struct Report {
+    failures: Vec<String>,
+    notices: Vec<String>,
+    compared: usize,
+    skipped: usize,
+}
+
+impl Report {
+    fn new() -> Self {
+        Report {
+            failures: Vec::new(),
+            notices: Vec::new(),
+            compared: 0,
+            skipped: 0,
+        }
+    }
+}
+
+/// Why timing metrics cannot be compared on this build, if they can't.
+fn timing_skip_reason(doc: &Value) -> Option<String> {
+    if cfg!(debug_assertions) {
+        return Some("unoptimized build (run with --release to compare timings)".into());
+    }
+    let host = kernel_backend::host_simd_isa();
+    let compiled = kernel_backend::compiled_simd_isa();
+    let bh = doc.get("host_simd_isa").and_then(Value::as_str);
+    let bc = doc.get("compiled_simd_isa").and_then(Value::as_str);
+    match (bh, bc) {
+        (Some(h), Some(c)) if h == host && c == compiled => None,
+        (Some(h), Some(c)) => Some(format!(
+            "ISA mismatch: baseline {h}/{c}, this build {host}/{compiled}"
+        )),
+        _ => Some("baseline lacks host_simd_isa/compiled_simd_isa headers".into()),
+    }
+}
+
+/// Diff one metric into the report.
+fn judge(cmp: &Cmp, tolerance: f64, timing_skip: &Option<String>, report: &mut Report) {
+    match cmp.class {
+        Class::Count => {
+            report.compared += 1;
+            if (cmp.fresh - cmp.baseline).abs() > 1e-9 {
+                report.failures.push(format!(
+                    "{}: count drifted — baseline {}, fresh {}",
+                    cmp.name, cmp.baseline, cmp.fresh
+                ));
+            }
+        }
+        Class::Timing => {
+            if timing_skip.is_some() {
+                report.skipped += 1;
+                return;
+            }
+            report.compared += 1;
+            let ratio = cmp.fresh / cmp.baseline.max(1e-12);
+            if ratio > tolerance {
+                report.failures.push(format!(
+                    "{}: {:.2}x slower than baseline ({:.6} vs {:.6}, tolerance {:.2}x)",
+                    cmp.name, ratio, cmp.fresh, cmp.baseline, tolerance
+                ));
+            }
+        }
+        Class::LowerBound(slack) => {
+            report.compared += 1;
+            if cmp.fresh < cmp.baseline - slack {
+                report.failures.push(format!(
+                    "{}: fell to {:.4}, baseline {:.4} (slack {:.2})",
+                    cmp.name, cmp.fresh, cmp.baseline, slack
+                ));
+            }
+        }
+    }
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("baseline missing numeric field {key:?}"))
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("baseline missing boolean field {key:?}"))
+}
+
+fn load(dir: &str, file: &str) -> Result<Value, String> {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Fresh measurements — mirrors of the baseline benches' configurations.
+// The configs here are the contract: they must stay in lockstep with
+// benches/bench_gravity.rs, bench_hydro.rs and bench_scale.rs, or the
+// count diffs go off against the wrong run.
+// ---------------------------------------------------------------------------
+
+struct DriverPoint {
+    seconds: f64,
+    hits: f64,
+    misses: f64,
+    mac_evals: f64,
+    tasks_spawned: f64,
+    fused_launches: f64,
+    overlap_ratio: f64,
+}
+
+/// One gravity-bench driver run (bench_gravity::bench_config).
+fn gravity_point(level: u32, steps: u32, cache: bool, host_tasks: usize) -> DriverPoint {
+    let host_tasks = host_tasks.max(1);
+    let mut driver = Driver::new(OctoConfig {
+        max_level: level,
+        stop_step: steps,
+        threads: 2,
+        use_interaction_cache: cache,
+        monopole_host_tasks: host_tasks,
+        multipole_host_tasks: host_tasks,
+        hydro_host_tasks: host_tasks,
+        ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
+    });
+    let m = driver.run(2);
+    let agg = driver.aggregation_stats();
+    DriverPoint {
+        seconds: m.elapsed_seconds,
+        hits: m.cache.hits as f64,
+        misses: m.cache.misses as f64,
+        mac_evals: m.work.mac_evals as f64,
+        tasks_spawned: m.runtime_stats.tasks_spawned as f64,
+        fused_launches: agg.fused_launches as f64,
+        overlap_ratio: m.overlap_ratio,
+    }
+}
+
+/// One hydro-bench step-mode run (bench_hydro::bench_config, 3 workers).
+fn hydro_point(level: u32, steps: u32, futurize: bool, host_tasks: usize) -> DriverPoint {
+    let host_tasks = host_tasks.max(1);
+    let mut cfg = OctoConfig {
+        max_level: level,
+        stop_step: steps,
+        threads: 3,
+        monopole_host_tasks: host_tasks,
+        multipole_host_tasks: host_tasks,
+        hydro_host_tasks: host_tasks,
+        ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
+    };
+    cfg.futurize = futurize;
+    cfg.simd_width = 4;
+    let mut driver = Driver::new(cfg);
+    let m = driver.run(3);
+    let agg = driver.aggregation_stats();
+    DriverPoint {
+        seconds: m.elapsed_seconds,
+        hits: 0.0,
+        misses: 0.0,
+        mac_evals: 0.0,
+        tasks_spawned: m.runtime_stats.tasks_spawned as f64,
+        fused_launches: agg.fused_launches as f64,
+        overlap_ratio: m.overlap_ratio,
+    }
+}
+
+struct ScalePoint {
+    seconds: f64,
+    leaves: f64,
+    cells: f64,
+    partial_rebuilds: f64,
+    leaves_rebuilt: f64,
+    leaves_retained: f64,
+}
+
+/// One scale-bench level run (bench_scale::time_scale): `steps` driver
+/// steps with the deterministic mid-run regrid sweep after the first.
+fn scale_point(level: u32, steps: u32, threads: usize) -> ScalePoint {
+    let mut d = Driver::new(OctoConfig {
+        max_level: level,
+        stop_step: steps,
+        threads,
+        monopole_host_tasks: 16,
+        multipole_host_tasks: 16,
+        hydro_host_tasks: 16,
+        regrid_host_tasks: 16,
+        ..OctoConfig::with_all_kernels(KernelType::KokkosSerial)
+    });
+    let rt = Runtime::new(threads);
+    let victims = if level >= 5 { 4 } else { 2 };
+    let mut cold = octotiger::gravity::CacheStats::default();
+    let start = Instant::now();
+    for s in 0..steps {
+        d.step(&rt);
+        if s == 0 {
+            cold = d.cache_stats();
+            let tree = d.tree();
+            let deepest: Vec<usize> = tree
+                .leaf_ids()
+                .iter()
+                .filter(|&&l| tree.node(l).level == tree.max_level())
+                .copied()
+                .collect();
+            let stride = (deepest.len() / (victims + 1).max(1)).max(1);
+            let picks: Vec<usize> = deepest
+                .iter()
+                .skip(stride / 2)
+                .step_by(stride)
+                .take(victims)
+                .copied()
+                .collect();
+            d.regrid(&rt, &picks);
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    let cs = d.cache_stats();
+    ScalePoint {
+        seconds,
+        leaves: d.tree().leaf_count() as f64,
+        cells: d.tree().cell_count() as f64,
+        partial_rebuilds: (cs.partial_rebuilds - cold.partial_rebuilds) as f64,
+        leaves_rebuilt: (cs.leaves_rebuilt - cold.leaves_rebuilt) as f64,
+        leaves_retained: (cs.leaves_retained - cold.leaves_retained) as f64,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-baseline diffs
+// ---------------------------------------------------------------------------
+
+fn diff_gravity(doc: &Value, tolerance: f64, report: &mut Report) -> Result<(), String> {
+    let timing_skip = timing_skip_reason(doc);
+    if let Some(why) = &timing_skip {
+        report
+            .notices
+            .push(format!("gravity: timing metrics skipped — {why}"));
+    }
+    report.notices.push(
+        "gravity: kernel sweep timings are gated by the full bench_gravity run, not here".into(),
+    );
+    let level = get_f64(doc, "tree_level")? as u32;
+    let steps = get_f64(doc, "steps")? as u32;
+    let runs = doc
+        .get("driver_runs")
+        .and_then(Value::as_arr)
+        .ok_or("baseline missing driver_runs")?;
+    for row in runs {
+        let cache = get_bool(row, "interaction_cache")?;
+        let host_tasks = get_f64(row, "host_tasks")? as usize;
+        let tag = format!("gravity/driver(cache={cache},host_tasks={host_tasks})");
+        let fresh = gravity_point(level, steps, cache, host_tasks);
+        let metrics = [
+            ("hits", fresh.hits, Class::Count),
+            ("misses", fresh.misses, Class::Count),
+            ("mac_evals", fresh.mac_evals, Class::Count),
+            ("tasks_spawned", fresh.tasks_spawned, Class::Count),
+            ("fused_launches", fresh.fused_launches, Class::Count),
+            ("seconds", fresh.seconds, Class::Timing),
+        ];
+        for (key, value, class) in metrics {
+            let cmp = Cmp {
+                name: format!("{tag}/{key}"),
+                baseline: get_f64(row, key)?,
+                fresh: value,
+                class,
+            };
+            judge(&cmp, tolerance, &timing_skip, report);
+        }
+    }
+    Ok(())
+}
+
+fn diff_hydro(doc: &Value, tolerance: f64, report: &mut Report) -> Result<(), String> {
+    let timing_skip = timing_skip_reason(doc);
+    if let Some(why) = &timing_skip {
+        report
+            .notices
+            .push(format!("hydro: timing metrics skipped — {why}"));
+    }
+    report
+        .notices
+        .push("hydro: kernel sweep timings are gated by the full bench_hydro run, not here".into());
+    let level = get_f64(doc, "tree_level")? as u32;
+    let steps = get_f64(doc, "steps")? as u32;
+    let modes = doc
+        .get("step_modes")
+        .and_then(Value::as_arr)
+        .ok_or("baseline missing step_modes")?;
+    for row in modes {
+        let futurize = get_bool(row, "futurize")?;
+        let host_tasks = get_f64(row, "host_tasks")? as usize;
+        let tag = format!("hydro/step(futurize={futurize},host_tasks={host_tasks})");
+        let fresh = hydro_point(level, steps, futurize, host_tasks);
+        let metrics = [
+            ("tasks_spawned", fresh.tasks_spawned, Class::Count),
+            ("fused_launches", fresh.fused_launches, Class::Count),
+            (
+                "overlap_ratio",
+                fresh.overlap_ratio,
+                Class::LowerBound(OVERLAP_SLACK),
+            ),
+            ("seconds", fresh.seconds, Class::Timing),
+        ];
+        for (key, value, class) in metrics {
+            let cmp = Cmp {
+                name: format!("{tag}/{key}"),
+                baseline: get_f64(row, key)?,
+                fresh: value,
+                class,
+            };
+            judge(&cmp, tolerance, &timing_skip, report);
+        }
+    }
+    Ok(())
+}
+
+fn diff_scale(doc: &Value, tolerance: f64, smoke: bool, report: &mut Report) -> Result<(), String> {
+    let timing_skip = timing_skip_reason(doc);
+    if let Some(why) = &timing_skip {
+        report
+            .notices
+            .push(format!("scale: timing metrics skipped — {why}"));
+    }
+    let threads = get_f64(doc, "threads")? as usize;
+    let levels = doc
+        .get("levels")
+        .and_then(Value::as_arr)
+        .ok_or("baseline missing levels")?;
+    for row in levels {
+        let level = get_f64(row, "level")? as u32;
+        let steps = get_f64(row, "steps")? as u32;
+        if smoke && level > 2 {
+            report.notices.push(format!(
+                "scale: level {level} skipped (BENCH_SMOKE=1 — deep levels take minutes)"
+            ));
+            report.skipped += 1;
+            continue;
+        }
+        let tag = format!("scale/level{level}");
+        let fresh = scale_point(level, steps, threads.max(1));
+        let metrics = [
+            ("leaves", fresh.leaves, Class::Count),
+            ("cells", fresh.cells, Class::Count),
+            ("partial_rebuilds", fresh.partial_rebuilds, Class::Count),
+            ("leaves_rebuilt", fresh.leaves_rebuilt, Class::Count),
+            ("leaves_retained", fresh.leaves_retained, Class::Count),
+            ("seconds", fresh.seconds, Class::Timing),
+        ];
+        for (key, value, class) in metrics {
+            let cmp = Cmp {
+                name: format!("{tag}/{key}"),
+                baseline: get_f64(row, key)?,
+                fresh: value,
+                class,
+            };
+            judge(&cmp, tolerance, &timing_skip, report);
+        }
+    }
+    Ok(())
+}
+
+/// Internal-consistency check on the committed trace-overhead datapoint.
+fn diff_trace_overhead(doc: &Value, report: &mut Report) -> Result<(), String> {
+    let overhead = get_f64(doc, "overhead_pct")?;
+    let budget = get_f64(doc, "budget_pct")?;
+    let allocs = get_f64(doc, "disabled_tracer_allocs")?;
+    let events = get_f64(doc, "events_recorded")?;
+    report.compared += 3;
+    if overhead > budget {
+        report.failures.push(format!(
+            "trace_overhead: committed overhead {overhead:.2}% exceeds budget {budget:.2}%"
+        ));
+    }
+    if allocs != 0.0 {
+        report.failures.push(format!(
+            "trace_overhead: committed disabled_tracer_allocs = {allocs} (must be 0)"
+        ));
+    }
+    // Sampler fields are newer than the bench itself: tolerate their
+    // absence in a pre-sampler baseline.
+    if let Some(sampler) = doc.get("sampler_overhead_pct").and_then(Value::as_f64) {
+        report.compared += 1;
+        if sampler > budget {
+            report.failures.push(format!(
+                "trace_overhead: committed sampler increment {sampler:.2}% exceeds budget {budget:.2}%"
+            ));
+        }
+    }
+    if events <= 0.0 {
+        report
+            .failures
+            .push("trace_overhead: committed events_recorded is zero".into());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Self-test — exercises the comparison logic with no benchmark runs.
+// ---------------------------------------------------------------------------
+
+fn self_test(tolerance: f64) -> Result<(), String> {
+    let baseline = [
+        ("t/seconds", 0.35, Class::Timing),
+        ("t/ns_per_sweep", 44_777_696.0, Class::Timing),
+        ("t/hits", 3.0, Class::Count),
+        ("t/overlap", 0.94, Class::LowerBound(OVERLAP_SLACK)),
+    ];
+    let no_skip: Option<String> = None;
+
+    // Identity diff must pass.
+    let mut clean = Report::new();
+    for (name, v, class) in baseline {
+        let cmp = Cmp {
+            name: name.into(),
+            baseline: v,
+            fresh: v,
+            class,
+        };
+        judge(&cmp, tolerance, &no_skip, &mut clean);
+    }
+    if !clean.failures.is_empty() {
+        return Err(format!(
+            "identity diff produced failures: {:?}",
+            clean.failures
+        ));
+    }
+
+    // A 2× slowdown on every timing metric must be flagged.
+    let mut slow = Report::new();
+    for (name, v, class) in baseline {
+        let fresh = if class == Class::Timing { v * 2.0 } else { v };
+        let cmp = Cmp {
+            name: name.into(),
+            baseline: v,
+            fresh,
+            class,
+        };
+        judge(&cmp, tolerance, &no_skip, &mut slow);
+    }
+    if slow.failures.len() != 2 {
+        return Err(format!(
+            "2x slowdown should flag both timing metrics, flagged {}: {:?}",
+            slow.failures.len(),
+            slow.failures
+        ));
+    }
+
+    // Count drift and overlap collapse must be flagged even when timings
+    // are skipped for ISA mismatch.
+    let skip: Option<String> = Some("ISA mismatch (self-test)".into());
+    let mut drift = Report::new();
+    for (name, v, class) in baseline {
+        let fresh = match class {
+            Class::Count => v + 1.0,
+            Class::LowerBound(_) => v - 0.5,
+            Class::Timing => v * 10.0,
+        };
+        let cmp = Cmp {
+            name: name.into(),
+            baseline: v,
+            fresh,
+            class,
+        };
+        judge(&cmp, tolerance, &skip, &mut drift);
+    }
+    if drift.failures.len() != 2 || drift.skipped != 2 {
+        return Err(format!(
+            "ISA-skipped diff should flag count+overlap and skip 2 timings, \
+             got {} failures / {} skipped: {:?}",
+            drift.failures.len(),
+            drift.skipped,
+            drift.failures
+        ));
+    }
+    println!("bench_diff --self-test: OK (identity passes, 2x slowdown flagged, ISA skip honored)");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+
+fn usage() -> String {
+    "usage: bench_diff [--self-test] [--tolerance=X] [--baseline-dir=DIR] \
+     [gravity|hydro|scale|trace_overhead]...\n\
+     default: diff all four committed baselines; BENCH_SMOKE=1 limits the \
+     scale re-run to level 2"
+        .into()
+}
+
+fn run() -> Result<bool, String> {
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut baseline_dir: String = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").into();
+    let mut want_self_test = false;
+    let mut benches: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--self-test" {
+            want_self_test = true;
+        } else if let Some(v) = arg.strip_prefix("--tolerance=") {
+            tolerance = v.parse().map_err(|e| format!("--tolerance={v}: {e}"))?;
+            if tolerance <= 1.0 {
+                return Err("--tolerance must be > 1.0".into());
+            }
+        } else if let Some(v) = arg.strip_prefix("--baseline-dir=") {
+            baseline_dir = v.into();
+        } else if ["gravity", "hydro", "scale", "trace_overhead"].contains(&arg.as_str()) {
+            benches.push(arg);
+        } else {
+            return Err(usage());
+        }
+    }
+    if want_self_test {
+        self_test(tolerance)?;
+        if benches.is_empty() {
+            return Ok(true);
+        }
+    }
+    if benches.is_empty() {
+        benches = vec![
+            "gravity".into(),
+            "hydro".into(),
+            "scale".into(),
+            "trace_overhead".into(),
+        ];
+    }
+    let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
+
+    let mut report = Report::new();
+    for bench in &benches {
+        match bench.as_str() {
+            "gravity" => diff_gravity(
+                &load(&baseline_dir, "BENCH_gravity.json")?,
+                tolerance,
+                &mut report,
+            )?,
+            "hydro" => diff_hydro(
+                &load(&baseline_dir, "BENCH_hydro.json")?,
+                tolerance,
+                &mut report,
+            )?,
+            "scale" => diff_scale(
+                &load(&baseline_dir, "BENCH_scale.json")?,
+                tolerance,
+                smoke,
+                &mut report,
+            )?,
+            "trace_overhead" => diff_trace_overhead(
+                &load(&baseline_dir, "BENCH_trace_overhead.json")?,
+                &mut report,
+            )?,
+            _ => unreachable!("benches vetted during argument parsing"),
+        }
+    }
+
+    for n in &report.notices {
+        println!("bench_diff: notice: {n}");
+    }
+    for f in &report.failures {
+        println!("bench_diff: FAIL: {f}");
+    }
+    println!(
+        "bench_diff: {} metrics compared, {} skipped, {} regressions",
+        report.compared,
+        report.skipped,
+        report.failures.len()
+    );
+    Ok(report.failures.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("bench_diff: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -476,13 +476,23 @@ impl Cluster {
 
     /// Register this cluster's counters with an apex-lite registry:
     /// per-locality scheduler counters under `/runtime/locality{i}/...`
-    /// and comms counters under `/comms/...`. The comms provider holds a
-    /// weak reference, so a registry never keeps the cluster alive.
+    /// (each with its own `imbalance` gauge), the cluster-wide
+    /// `/runtime/imbalance` roll-up (max/mean busy time across *all*
+    /// workers of *all* localities — the load-balance signal for the
+    /// scale-out work), and comms counters under `/comms/...`. The comms
+    /// provider holds a weak reference, so a registry never keeps the
+    /// cluster alive.
     pub fn register_counters(&self, registry: &mut apex_lite::CounterRegistry) {
         for (i, rt) in self.inner.runtimes.iter().enumerate() {
             rt.handle()
                 .register_counters(registry, &format!("/runtime/locality{i}"));
         }
+        let handles: Vec<amt::Handle> = self.inner.runtimes.iter().map(|rt| rt.handle()).collect();
+        registry.register("/runtime", move |c| {
+            let all: Vec<amt::WorkerStats> =
+                handles.iter().flat_map(|h| h.worker_stats()).collect();
+            c.gauge("imbalance", amt::imbalance(&all));
+        });
         let weak = Arc::downgrade(&self.inner);
         registry.register("/comms", move |c| {
             let Some(inner) = weak.upgrade() else { return };

@@ -84,6 +84,16 @@ pub struct OctoConfig {
     /// Print the per-step counter-delta table after the run
     /// (`--counter-table=on`).
     pub counter_table: bool,
+    /// Sample the counter registry every N milliseconds on a background
+    /// thread (`--sample_interval_ms=10`). The series export as Chrome
+    /// `"C"` counter tracks in the trace (with `--trace-out`) and as CSV
+    /// (with `--metrics-out`). `None` (the default) spawns nothing —
+    /// zero-cost, same discipline as the tracer.
+    pub sample_interval_ms: Option<u64>,
+    /// Write the sampled counter time-series as CSV to this path
+    /// (`--metrics-out=metrics.csv`). Without `--sample_interval_ms` the
+    /// file holds a single end-of-run sample.
+    pub metrics_out: Option<String>,
 }
 
 impl Default for OctoConfig {
@@ -110,6 +120,8 @@ impl Default for OctoConfig {
             futurize: true,
             trace_out: None,
             counter_table: false,
+            sample_interval_ms: None,
+            metrics_out: None,
         }
     }
 }
@@ -198,6 +210,15 @@ impl OctoConfig {
                     }
                     cfg.trace_out = Some(value.to_string());
                 }
+                "sample_interval_ms" | "sample-interval-ms" => {
+                    cfg.sample_interval_ms = Some(parse(key, value)?);
+                }
+                "metrics-out" | "metrics_out" => {
+                    if value.is_empty() {
+                        return Err("--metrics-out needs a file path".into());
+                    }
+                    cfg.metrics_out = Some(value.to_string());
+                }
                 "counter-table" | "counter_table" => {
                     cfg.counter_table = match value {
                         "on" | "1" | "true" => true,
@@ -243,6 +264,9 @@ impl OctoConfig {
             if v == 0 {
                 return Err(format!("--{knob} must be >= 1 (1 disables aggregation)"));
             }
+        }
+        if self.sample_interval_ms == Some(0) {
+            return Err("--sample_interval_ms must be >= 1".into());
         }
         Ok(())
     }
@@ -426,6 +450,22 @@ mod tests {
         assert!(!OctoConfig::default().counter_table);
         assert!(OctoConfig::from_args(["--trace-out="]).is_err());
         assert!(OctoConfig::from_args(["--counter-table=maybe"]).is_err());
+    }
+
+    #[test]
+    fn parses_sampler_flags() {
+        let c = OctoConfig::from_args(["--sample_interval_ms=10", "--metrics-out=m.csv"]).unwrap();
+        assert_eq!(c.sample_interval_ms, Some(10));
+        assert_eq!(c.metrics_out.as_deref(), Some("m.csv"));
+        // Dash/underscore aliases; defaults are off.
+        let d = OctoConfig::from_args(["--sample-interval-ms=5", "--metrics_out=x.csv"]).unwrap();
+        assert_eq!(d.sample_interval_ms, Some(5));
+        assert_eq!(d.metrics_out.as_deref(), Some("x.csv"));
+        assert_eq!(OctoConfig::default().sample_interval_ms, None);
+        assert_eq!(OctoConfig::default().metrics_out, None);
+        assert!(OctoConfig::from_args(["--sample_interval_ms=0"]).is_err());
+        assert!(OctoConfig::from_args(["--sample_interval_ms=fast"]).is_err());
+        assert!(OctoConfig::from_args(["--metrics-out="]).is_err());
     }
 
     #[test]

@@ -114,6 +114,9 @@ pub struct DistMetrics {
     /// Unified counter dump (`/runtime/locality{N}/…`, `/comms/…`,
     /// `/gravity/…`, `/work/…`, `/energy/…`) sampled at the end of the run.
     pub counters: CounterSnapshot,
+    /// Number of periodic counter samples taken (0 unless
+    /// `--sample_interval_ms` was set).
+    pub counter_samples: u64,
 }
 
 /// Per-locality domain component.
@@ -602,6 +605,13 @@ impl DistRun {
         }
         let mut registry = CounterRegistry::new();
         cluster.register_counters(&mut registry);
+        let registry = std::sync::Arc::new(registry);
+        let sampler = config.octo.sample_interval_ms.map(|ms| {
+            apex_lite::Sampler::start(
+                std::sync::Arc::clone(&registry),
+                std::time::Duration::from_millis(ms),
+            )
+        });
         let mut prev = registry.sample();
         let mut step_deltas: Vec<CounterSnapshot> = Vec::new();
 
@@ -715,10 +725,27 @@ impl DistRun {
                 apex_lite::render_table("distributed run totals", &counters)
             );
         }
+        // Wind down the sampler (if any) before exporting: its series ride
+        // along in the Chrome trace as `"C"` counter events and back the
+        // `--metrics-out` CSV dump.
+        let mut series = match sampler {
+            Some(s) => s.stop(),
+            None => apex_lite::TimeSeries::default(),
+        };
+        if config.octo.metrics_out.is_some() && series.samples == 0 {
+            // No cadence requested: still emit a one-shot final snapshot so
+            // the CSV is never empty.
+            series.push(trace::now_ns(), &counters);
+        }
+        if let Some(path) = &config.octo.metrics_out {
+            if let Err(e) = std::fs::write(path, series.render_csv()) {
+                eprintln!("warning: failed to write metrics to {path}: {e}");
+            }
+        }
         if let Some(path) = &config.octo.trace_out {
             trace::set_enabled(false);
             let t = trace::drain();
-            if let Err(e) = std::fs::write(path, apex_lite::export(&t)) {
+            if let Err(e) = std::fs::write(path, apex_lite::export_with_counters(&t, &series)) {
                 eprintln!("warning: failed to write trace to {path}: {e}");
             }
         }
@@ -738,6 +765,7 @@ impl DistRun {
             runtime_stats: cluster.runtime_stats(),
             owned_per_node,
             counters,
+            counter_samples: series.samples,
         }
     }
 }

@@ -102,6 +102,9 @@ pub struct RunMetrics {
     /// Unified counter dump (`/runtime/…`, `/gravity/…`, `/work/…`,
     /// `/energy/…`) sampled at the end of the run.
     pub counters: CounterSnapshot,
+    /// Background counter-sampler ticks taken during the run (0 unless
+    /// `--sample_interval_ms` was set).
+    pub counter_samples: u64,
 }
 
 /// Wall-clock envelope of one task family within a step: the earliest start
@@ -767,6 +770,17 @@ impl Driver {
             .handle()
             .register_counters(&mut registry, "/runtime");
         runtime.reset_stats();
+        // The background sampler shares the registry; the driver-owned
+        // counters (`counters_into`, borrowing `&self`) are folded into the
+        // final snapshot only — the time-series covers the registered
+        // providers (`/runtime/...` including the imbalance gauge).
+        let registry = std::sync::Arc::new(registry);
+        let sampler = self.config.sample_interval_ms.map(|ms| {
+            apex_lite::Sampler::start(
+                std::sync::Arc::clone(&registry),
+                std::time::Duration::from_millis(ms),
+            )
+        });
         let start = Instant::now();
         let mut steps = 0;
         let mut prev = self.sample_counters(&registry);
@@ -800,10 +814,25 @@ impl Driver {
                 apex_lite::render_table("octotiger run totals", &counters)
             );
         }
+        let mut series = match sampler {
+            Some(s) => s.stop(),
+            None => apex_lite::TimeSeries::default(),
+        };
+        if self.config.metrics_out.is_some() && series.samples == 0 {
+            // `--metrics-out` without a sampling cadence: one final sample
+            // (including the driver-owned counters) so the file is never
+            // empty.
+            series.push(trace::now_ns(), &counters);
+        }
+        if let Some(path) = &self.config.metrics_out {
+            if let Err(e) = std::fs::write(path, series.render_csv()) {
+                eprintln!("warning: failed to write metrics to {path}: {e}");
+            }
+        }
         if let Some(path) = self.config.trace_out.clone() {
             trace::set_enabled(false);
             let t = trace::drain();
-            if let Err(e) = std::fs::write(&path, apex_lite::export(&t)) {
+            if let Err(e) = std::fs::write(&path, apex_lite::export_with_counters(&t, &series)) {
                 eprintln!("warning: failed to write trace to {path}: {e}");
             }
         }
@@ -823,6 +852,7 @@ impl Driver {
             overlap_ratio: self.overlap_ratio(),
             peak_rss_bytes: rv_machine::memory::peak_rss_bytes(),
             counters,
+            counter_samples: series.samples,
         }
     }
 

@@ -35,13 +35,26 @@ BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_trace
 echo "== deep-tree scale smoke (level 4, mid-run regrid rebuilds < 25% of lists) =="
 BENCH_SMOKE=1 cargo bench -q -p repro-bench --bench bench_scale
 
-echo "== trace smoke run + checker =="
+echo "== bench-regression gate (self-test + committed baselines) =="
+cargo run --release -p repro-bench --bin bench_diff -- --self-test
+BENCH_SMOKE=1 cargo run --release -p repro-bench --bin bench_diff
+
+echo "== trace smoke run + checker + analyzer =="
 TRACE_OUT=$(mktemp -t apexlite_ci_XXXXXX.json)
+FLAME_OUT=$(mktemp -t apexlite_flame_XXXXXX.txt)
 cargo run --release --example distributed_cluster -- \
-  --max_level=1 --stop_step=2 --hpx:threads=2 --trace-out="$TRACE_OUT" >/dev/null
+  --max_level=1 --stop_step=2 --hpx:threads=2 --sample_interval_ms=5 \
+  --trace-out="$TRACE_OUT" >/dev/null
 cargo run --release -p apex-lite --bin trace_check -- \
   --require task,phase,comm --min-spans 10 "$TRACE_OUT"
-rm -f "$TRACE_OUT"
+# trace_report --check: non-empty critical path within the wall window,
+# utilization rows, the cluster-wide imbalance series, a non-empty
+# flamegraph.
+cargo run --release -p apex-lite --bin trace_report -- \
+  --check --require-counter=/runtime/imbalance --flame-out="$FLAME_OUT" \
+  "$TRACE_OUT"
+test -s "$FLAME_OUT"
+rm -f "$TRACE_OUT" "$FLAME_OUT"
 
 # The overlap gates run at level 2 (64 leaves): on single-core CI hosts,
 # overlap of two span families depends on the OS preempting a worker

@@ -1,6 +1,8 @@
 //! End-to-end observability tests: the tracer's zero-allocation guarantee
 //! on the scheduler hot path, agreement between trace span counts and
-//! `RunMetrics`, and the unified counter namespace of a full run.
+//! `RunMetrics`, the unified counter namespace of a full run, and the
+//! performance-observatory layer — critical-path analysis, per-worker
+//! utilization, flamegraph export, and the periodic counter sampler.
 //!
 //! Tracer state is process-global, so every test here serializes on one
 //! lock (the harness runs tests in this binary on parallel threads).
@@ -8,7 +10,7 @@
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
-use octotiger_riscv_repro::apex_lite::{trace, validate, CounterValue};
+use octotiger_riscv_repro::apex_lite::{self, trace, validate, CounterValue};
 use octotiger_riscv_repro::machine::NetBackend;
 use octotiger_riscv_repro::octotiger::{DistConfig, DistRun, Driver, KernelType, OctoConfig};
 
@@ -227,4 +229,198 @@ fn two_node_trace_merges_locality_prefixed_pids() {
     // The HWM-step satellite: the queue-depth high-water mark carries the
     // step index it occurred at (within the executed step range).
     assert!(metrics.port.queue_depth_hwm_step < u64::from(metrics.steps).max(1));
+}
+
+#[test]
+fn critical_path_bounds_hold_on_futurized_trace() {
+    let _g = lock();
+    let path = tmp_trace("critpath");
+    let mut cfg = tiny_config();
+    cfg.threads = 4;
+    cfg.futurize = true;
+    cfg.trace_out = Some(path.to_string_lossy().into_owned());
+    let mut driver = Driver::new(cfg);
+    let metrics = driver.run(4);
+    assert!(metrics.steps > 0);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = validate(&text).expect("trace must validate");
+    let _ = std::fs::remove_file(&path);
+
+    let phases = apex_lite::default_phases(&summary);
+    assert!(
+        phases.iter().any(|p| p == "hydro_step"),
+        "phase autodetection missed hydro_step: {phases:?}"
+    );
+    let cp = apex_lite::critical_path(&summary, &phases);
+
+    // The property pair: the critical path can never exceed the trace's
+    // wall window, and can never undershoot the busiest single phase
+    // (that phase's own merged segments are one feasible chain).
+    assert!(cp.path_ns > 0, "empty critical path on a traced run");
+    assert!(
+        cp.path_ns <= cp.wall_ns,
+        "critical path {} ns exceeds wall {} ns",
+        cp.path_ns,
+        cp.wall_ns
+    );
+    let max_phase_active = cp.by_phase.iter().map(|p| p.active_ns).max().unwrap_or(0);
+    assert!(
+        cp.path_ns >= max_phase_active,
+        "critical path {} ns below busiest phase {} ns",
+        cp.path_ns,
+        max_phase_active
+    );
+    assert!(!cp.segments.is_empty());
+
+    // Utilization rows: one per traced lane, with positive busy time on
+    // the workers that executed kernels.
+    let util = apex_lite::worker_utilization(&summary);
+    assert!(!util.is_empty(), "no worker utilization rows");
+    assert!(
+        util.iter().any(|w| w.busy_ns > 0),
+        "no worker recorded busy time"
+    );
+    let imb = apex_lite::imbalance_ratio(&util);
+    assert!(imb >= 1.0, "imbalance ratio {imb} below 1.0 with busy data");
+
+    // Flamegraph: collapsed stacks must be non-empty and carry the
+    // per-leaf kernel frames.
+    let stacks = apex_lite::collapsed_stacks(&summary);
+    assert!(!stacks.is_empty(), "empty flamegraph");
+    let rendered = apex_lite::render_collapsed(&stacks);
+    assert!(rendered.contains("hydro_step"), "flamegraph lost kernels");
+}
+
+#[test]
+fn per_phase_path_totals_agree_with_run_metrics() {
+    let _g = lock();
+    let path = tmp_trace("phase_agree");
+    let mut cfg = tiny_config();
+    // Barriered mode: exactly one span per phase per step, so the
+    // analyzer's per-phase span counts are fully determined by RunMetrics.
+    cfg.futurize = false;
+    cfg.trace_out = Some(path.to_string_lossy().into_owned());
+    let mut driver = Driver::new(cfg);
+    let metrics = driver.run(2);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = validate(&text).expect("trace must validate");
+    let _ = std::fs::remove_file(&path);
+
+    let cp = apex_lite::critical_path(&summary, &apex_lite::default_phases(&summary));
+    let steps = u64::from(metrics.steps);
+    for phase in [
+        "ghost_exchange",
+        "cfl_reduction",
+        "gravity_solve",
+        "hydro_step",
+    ] {
+        let row = cp
+            .by_phase
+            .iter()
+            .find(|p| p.name == phase)
+            .unwrap_or_else(|| panic!("phase {phase} missing from critical-path table"));
+        assert_eq!(row.spans, steps, "span count for {phase}");
+        assert!(row.active_ns > 0, "no active time for {phase}");
+    }
+    // Barriered phases never overlap, so the path covers every phase's
+    // full active time: path == sum of per-phase contributions.
+    let contributed: u64 = cp.by_phase.iter().map(|p| p.path_ns).sum();
+    assert_eq!(cp.path_ns, contributed);
+}
+
+#[test]
+fn sampler_records_counter_series_into_csv_and_trace() {
+    let _g = lock();
+    let trace_path = tmp_trace("sampler");
+    let csv_path = std::env::temp_dir().join(format!("apexlite_series_{}.csv", std::process::id()));
+    let mut cfg = tiny_config();
+    cfg.stop_step = 5;
+    cfg.sample_interval_ms = Some(1);
+    cfg.metrics_out = Some(csv_path.to_string_lossy().into_owned());
+    cfg.trace_out = Some(trace_path.to_string_lossy().into_owned());
+    let mut driver = Driver::new(cfg);
+    let metrics = driver.run(2);
+    assert!(
+        metrics.counter_samples > 0,
+        "1 ms sampler took no samples over a full run"
+    );
+
+    // CSV dump: header plus one row per (series, point).
+    let csv = std::fs::read_to_string(&csv_path).expect("metrics CSV written");
+    let _ = std::fs::remove_file(&csv_path);
+    assert!(csv.starts_with("# apex-lite counter time-series"));
+    assert!(csv.contains("series,ts_ms,value"));
+    assert!(
+        csv.contains("/runtime/imbalance,"),
+        "imbalance gauge missing from CSV"
+    );
+
+    // The same series ride along in the Chrome trace as counter events
+    // and reassemble on validation.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let summary = validate(&text).expect("trace with counters must validate");
+    let _ = std::fs::remove_file(&trace_path);
+    assert!(summary.counter_events > 0, "no counter events in trace");
+    let series = summary
+        .counter_series
+        .get("/runtime/imbalance")
+        .expect("imbalance series missing from trace");
+    assert!(!series.is_empty());
+    assert!(
+        series.windows(2).all(|w| w[0].0 <= w[1].0),
+        "sampler timestamps not monotone"
+    );
+}
+
+#[test]
+fn dist_run_exports_global_imbalance_and_counter_series() {
+    let _g = lock();
+    let path = tmp_trace("dist_sampler");
+    let mut octo = tiny_config();
+    octo.stop_step = 2;
+    octo.sample_interval_ms = Some(1);
+    octo.trace_out = Some(path.to_string_lossy().into_owned());
+    let cfg = DistConfig {
+        nodes: 2,
+        threads_per_node: 2,
+        backend: NetBackend::Tcp,
+        coalesce: Default::default(),
+        octo,
+    };
+    let metrics = DistRun::execute(cfg);
+    assert!(metrics.counter_samples > 0);
+
+    // The cluster-wide roll-up next to the per-locality gauges.
+    assert!(
+        matches!(
+            metrics.counters.get("/runtime/imbalance"),
+            Some(CounterValue::Gauge(v)) if v >= 0.0
+        ),
+        "global /runtime/imbalance gauge missing: {:?}",
+        metrics.counters.get("/runtime/imbalance")
+    );
+    for loc in 0..2 {
+        let key = format!("/runtime/locality{loc}/imbalance");
+        assert!(
+            matches!(metrics.counters.get(&key), Some(CounterValue::Gauge(_))),
+            "{key} missing"
+        );
+    }
+
+    // Locality-prefixed series land in the merged trace.
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = validate(&text).expect("trace must validate");
+    let _ = std::fs::remove_file(&path);
+    assert!(summary.counter_events > 0);
+    assert!(
+        summary
+            .counter_series
+            .keys()
+            .any(|k| k.starts_with("/runtime/locality")),
+        "no locality-prefixed counter series: {:?}",
+        summary.counter_series.keys().collect::<Vec<_>>()
+    );
+    assert!(summary.counter_series.contains_key("/runtime/imbalance"));
 }
