@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! trace_check [--require CAT[,CAT...]] [--require-overlap A,B] [--min-spans N] FILE...
+//! trace_check [--require CAT[,CAT...]] [--require-overlap A,B] [--min-spans N]
+//!             [--require-flow[=N]] FILE...
 //! ```
 //!
 //! Each FILE is parsed and validated (well-formed JSON, required fields,
@@ -17,7 +18,11 @@
 //! and `B` must have been simultaneously open (on any two threads) for a
 //! positive wall-clock duration — the CI proof that a futurized run really
 //! interleaved gravity and hydro instead of running them phase-by-phase.
-//! Exits non-zero on any failure.
+//! With `--require-flow` (optionally `--require-flow=N`), the trace must
+//! contain at least N *matched* `"s"`/`"f"` flow pairs — the distributed
+//! smoke run's proof that parcels carried their trace context end to end.
+//! Dangling flow ends (an `"f"` with no `"s"` anywhere) are a validation
+//! error regardless of flags. Exits non-zero on any failure.
 
 use std::process::ExitCode;
 
@@ -25,6 +30,7 @@ fn main() -> ExitCode {
     let mut require: Vec<String> = Vec::new();
     let mut require_overlap: Vec<(String, String)> = Vec::new();
     let mut min_spans: u64 = 1;
+    let mut require_flow: Option<u64> = None;
     let mut files: Vec<String> = Vec::new();
 
     let parse_overlap = |v: &str| -> Option<(String, String)> {
@@ -53,6 +59,13 @@ fn main() -> ExitCode {
             match args.next() {
                 Some(v) => require.extend(v.split(',').map(str::to_string)),
                 None => return usage("--require needs a value"),
+            }
+        } else if arg == "--require-flow" {
+            require_flow = Some(1);
+        } else if let Some(v) = arg.strip_prefix("--require-flow=") {
+            match v.parse() {
+                Ok(n) => require_flow = Some(n),
+                Err(_) => return usage("--require-flow needs a number"),
             }
         } else if let Some(v) = arg.strip_prefix("--min-spans=") {
             match v.parse() {
@@ -86,7 +99,7 @@ fn main() -> ExitCode {
                 continue;
             }
         };
-        match check_text(&text, min_spans, &require, &require_overlap) {
+        match check_text(&text, min_spans, &require, &require_overlap, require_flow) {
             Ok(lines) => {
                 for line in lines {
                     println!("{file}: {line}");
@@ -113,6 +126,7 @@ fn check_text(
     min_spans: u64,
     require: &[String],
     require_overlap: &[(String, String)],
+    require_flow: Option<u64>,
 ) -> Result<Vec<String>, String> {
     if text.trim().is_empty() {
         return Err("empty trace file (no JSON document; was the run traced at all?)".into());
@@ -161,6 +175,18 @@ fn check_text(
             lines.push(format!("overlap {a:?}/{b:?} = {ns} ns"));
         }
     }
+    if let Some(n) = require_flow {
+        let matched = summary.flow_edges.len() as u64;
+        if matched < n {
+            problems.push(format!(
+                "only {matched} matched flow pair(s) (need >= {n}; {} \"s\" starts, \
+                 {} \"f\" ends seen — did the parcelports emit flow events?)",
+                summary.flow_starts, summary.flow_ends
+            ));
+        } else {
+            lines.push(format!("flows: {matched} matched pair(s)"));
+        }
+    }
     if !problems.is_empty() {
         return Err(problems.join("; "));
     }
@@ -207,7 +233,7 @@ mod tests {
     #[test]
     fn empty_file_fails_with_clear_message() {
         for text in ["", "   \n\t "] {
-            let err = check_text(text, 0, &[], &[]).unwrap_err();
+            let err = check_text(text, 0, &[], &[], None).unwrap_err();
             assert!(err.contains("empty trace file"), "{err}");
         }
     }
@@ -219,6 +245,7 @@ mod tests {
             0,
             &[],
             &[],
+            None,
         )
         .unwrap_err();
         assert!(err.contains("zero events"), "{err}");
@@ -227,7 +254,7 @@ mod tests {
     #[test]
     fn require_matching_nothing_fails_and_names_present_cats() {
         let text = one_span_trace();
-        let err = check_text(&text, 1, &["no_such_token".to_string()], &[]).unwrap_err();
+        let err = check_text(&text, 1, &["no_such_token".to_string()], &[], None).unwrap_err();
         assert!(err.contains("required token \"no_such_token\""), "{err}");
         assert!(err.contains("zero span names and zero categories"), "{err}");
         assert!(
@@ -240,17 +267,74 @@ mod tests {
     fn require_matches_name_or_category() {
         let text = one_span_trace();
         // By span name.
-        check_text(&text, 1, &["gravity_solve".to_string()], &[]).unwrap();
+        check_text(&text, 1, &["gravity_solve".to_string()], &[], None).unwrap();
         // By category.
-        let lines = check_text(&text, 1, &["phase".to_string()], &[]).unwrap();
+        let lines = check_text(&text, 1, &["phase".to_string()], &[], None).unwrap();
         assert!(lines.last().unwrap().starts_with("OK — 1 spans"));
     }
 
     #[test]
     fn min_spans_enforced() {
         let text = one_span_trace();
-        let err = check_text(&text, 2, &[], &[]).unwrap_err();
+        let err = check_text(&text, 2, &[], &[], None).unwrap_err();
         assert!(err.contains("only 1 spans (need >= 2)"), "{err}");
+    }
+
+    fn flow_trace(with_end: bool) -> String {
+        let mut loc1 = vec![Event {
+            cat: Cat::Comm,
+            name: "parcel",
+            ts_ns: 100,
+            kind: EventKind::FlowStart { id: 42 },
+        }];
+        if with_end {
+            loc1.push(Event {
+                cat: Cat::Comm,
+                name: "parcel",
+                ts_ns: 900,
+                kind: EventKind::FlowEnd { id: 42 },
+            });
+        }
+        loc1.push(Event {
+            cat: Cat::Phase,
+            name: "work",
+            ts_ns: 1000,
+            kind: EventKind::Span { dur_ns: 10 },
+        });
+        apex_lite::export(&Trace {
+            threads: vec![(
+                ThreadMeta {
+                    pid: 0,
+                    tid: 0,
+                    name: "worker0".into(),
+                },
+                loc1,
+            )],
+            dropped: 0,
+        })
+    }
+
+    #[test]
+    fn require_flow_counts_matched_pairs() {
+        let text = flow_trace(true);
+        let lines = check_text(&text, 1, &[], &[], Some(1)).unwrap();
+        assert!(lines.iter().any(|l| l.contains("flows: 1 matched pair")));
+        let err = check_text(&text, 1, &[], &[], Some(5)).unwrap_err();
+        assert!(
+            err.contains("only 1 matched flow pair(s) (need >= 5"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unmatched_start_is_legal_but_fails_require_flow() {
+        // An "s" whose parcel never landed (dropped on shutdown) validates
+        // fine — but it is not a matched pair.
+        let text = flow_trace(false);
+        check_text(&text, 1, &[], &[], None).unwrap();
+        let err = check_text(&text, 1, &[], &[], Some(1)).unwrap_err();
+        assert!(err.contains("1 \"s\" starts"), "{err}");
+        assert!(err.contains("0 \"f\" ends"), "{err}");
     }
 }
 

@@ -14,6 +14,11 @@
 //!   `apex_lite::critpath`), with per-phase contributions and slack;
 //! * **per-worker utilization** rows (busy/park fractions of the trace
 //!   window, steal/yield counts) plus the max/mean-busy imbalance ratio;
+//! * a **comms** section, when the trace carries matched parcel flow
+//!   events: the comms-aware distributed critical path (network share,
+//!   per-locality baselines, estimated clock offsets), per-link parcel
+//!   counts/bytes, and parcel-latency percentiles from the
+//!   `/comms/parcel_latency` histogram counter;
 //! * sampled **counter series** carried in the trace (`"C"` events), when
 //!   the run was started with `--sample_interval_ms`.
 //!
@@ -21,7 +26,11 @@
 //! (`flamegraph.pl`/inferno input, self-time ns counts). `--check` makes
 //! the CI-facing assertions fatal: non-empty critical path, at least one
 //! utilization row, and (per `--require-counter=NAME`) the named counter
-//! series present in the trace. Exits non-zero on any failure.
+//! series present in the trace; on a multi-locality trace with flows the
+//! distributed path must route through at least one network leg, bound
+//! every single-locality path from above, stay within wall, the latency
+//! percentiles must be ordered (p50 ≤ p95 ≤ p99), and the histogram
+//! count must equal the parcels delivered. Exits non-zero on any failure.
 
 use apex_lite::{chrome, critpath, flame};
 use std::process::ExitCode;
@@ -143,6 +152,63 @@ fn report(file: &str, opts: &Options) -> Result<(), String> {
         );
     }
 
+    // Comms: distributed critical path + wire traffic, when the trace
+    // carries matched parcel flow events.
+    let dcp = if summary.flow_edges.is_empty() {
+        None
+    } else {
+        let d = critpath::critical_path_distributed(&summary, &phases);
+        let net_pct = if d.path.path_ns == 0 {
+            0.0
+        } else {
+            100.0 * d.network_ns as f64 / d.path.path_ns as f64
+        };
+        println!(
+            "distributed critical path: {:.3} ms over {} segments ({} network legs, \
+             {:.3} ms on the wire = {:.1}% of path)",
+            ms(d.path.path_ns),
+            d.path.segments.len(),
+            d.network_edges_on_path,
+            ms(d.network_ns),
+            net_pct
+        );
+        for (pid, &p) in &d.per_locality_path_ns {
+            let off = d.offsets.get(pid).copied().unwrap_or(0);
+            println!(
+                "  locality {pid}: single-locality path {:>10.3} ms, clock offset {off:+} ns",
+                ms(p)
+            );
+        }
+        Some(d)
+    };
+    let last_of =
+        |name: &str| -> Option<f64> { summary.counter_series.get(name)?.last().map(|&(_, v)| v) };
+    if let Some(count) = last_of("/comms/parcel_latency") {
+        let us = |v: Option<f64>| v.unwrap_or(0.0) / 1e3;
+        println!(
+            "parcel latency: {count} parcels, p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+            us(last_of("/comms/parcel_latency/p50")),
+            us(last_of("/comms/parcel_latency/p95")),
+            us(last_of("/comms/parcel_latency/p99"))
+        );
+    }
+    let links: Vec<&String> = summary
+        .counter_series
+        .keys()
+        .filter(|k| k.starts_with("/comms/link") && k.ends_with("/parcels"))
+        .collect();
+    if !links.is_empty() {
+        println!("links:");
+        for parcels_key in links {
+            let base = parcels_key.trim_end_matches("/parcels");
+            println!(
+                "  {base}: {} parcels, {} bytes",
+                last_of(parcels_key).unwrap_or(0.0),
+                last_of(&format!("{base}/bytes")).unwrap_or(0.0)
+            );
+        }
+    }
+
     // Per-worker utilization.
     let util = critpath::worker_utilization(&summary);
     println!("worker utilization ({} lanes):", util.len());
@@ -192,7 +258,7 @@ fn report(file: &str, opts: &Options) -> Result<(), String> {
     }
 
     if opts.check {
-        check_summary(&summary, &cp, &util, opts, flame_lines)?;
+        check_summary(&summary, &cp, dcp.as_ref(), &util, opts, flame_lines)?;
         println!("{file}: CHECK OK");
     }
     Ok(())
@@ -201,6 +267,7 @@ fn report(file: &str, opts: &Options) -> Result<(), String> {
 fn check_summary(
     summary: &chrome::TraceSummary,
     cp: &critpath::CriticalPath,
+    dcp: Option<&critpath::DistCriticalPath>,
     util: &[critpath::WorkerUtilization],
     opts: &Options,
     flame_lines: usize,
@@ -227,6 +294,51 @@ fn check_summary(
     }
     if opts.flame_out.is_some() && flame_lines == 0 {
         return Err("flamegraph is empty".into());
+    }
+    if let Some(d) = dcp {
+        if summary.pids > 1 && d.network_edges_on_path == 0 {
+            return Err(format!(
+                "trace spans {} localities with {} flow edges but the distributed \
+                 critical path crosses no network leg",
+                summary.pids,
+                summary.flow_edges.len()
+            ));
+        }
+        if d.path.path_ns > d.path.wall_ns {
+            return Err(format!(
+                "distributed critical path {} ns exceeds wall {} ns",
+                d.path.path_ns, d.path.wall_ns
+            ));
+        }
+        for (pid, &p) in &d.per_locality_path_ns {
+            if d.path.path_ns < p {
+                return Err(format!(
+                    "distributed critical path {} ns is shorter than locality {pid}'s \
+                     own path {p} ns — cross-locality edges must only lengthen it",
+                    d.path.path_ns
+                ));
+            }
+        }
+    }
+    let last_of =
+        |name: &str| -> Option<f64> { summary.counter_series.get(name)?.last().map(|&(_, v)| v) };
+    if let Some(count) = last_of("/comms/parcel_latency") {
+        let p50 = last_of("/comms/parcel_latency/p50").unwrap_or(0.0);
+        let p95 = last_of("/comms/parcel_latency/p95").unwrap_or(0.0);
+        let p99 = last_of("/comms/parcel_latency/p99").unwrap_or(0.0);
+        if !(p50 <= p95 && p95 <= p99) {
+            return Err(format!(
+                "parcel latency percentiles out of order: p50 {p50} / p95 {p95} / p99 {p99}"
+            ));
+        }
+        if let Some(parcels) = last_of("/comms/parcels") {
+            if count != parcels {
+                return Err(format!(
+                    "latency histogram holds {count} observations but {parcels} parcels \
+                     were delivered — every received parcel must be measured exactly once"
+                ));
+            }
+        }
     }
     Ok(())
 }

@@ -91,6 +91,35 @@ pub fn export_with_counters(trace: &Trace, series: &TimeSeries) -> String {
                     fmt_us(&mut out, ev.ts_ns);
                     out.push_str(",\"s\":\"t\"}");
                 }
+                EventKind::FlowStart { id } => {
+                    out.push_str("{\"ph\":\"s\",\"name\":\"");
+                    json::escape_into(&mut out, ev.name);
+                    out.push_str("\",\"cat\":\"");
+                    out.push_str(ev.cat.as_str());
+                    let _ = write!(
+                        out,
+                        "\",\"id\":{id},\"pid\":{},\"tid\":{},\"ts\":",
+                        meta.pid, meta.tid
+                    );
+                    fmt_us(&mut out, ev.ts_ns);
+                    out.push('}');
+                }
+                EventKind::FlowEnd { id } => {
+                    // `"bp":"e"` binds the arrow to the enclosing slice
+                    // (the parcel_recv span), which is how Perfetto draws
+                    // sender→receiver arrows between localities.
+                    out.push_str("{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"");
+                    json::escape_into(&mut out, ev.name);
+                    out.push_str("\",\"cat\":\"");
+                    out.push_str(ev.cat.as_str());
+                    let _ = write!(
+                        out,
+                        "\",\"id\":{id},\"pid\":{},\"tid\":{},\"ts\":",
+                        meta.pid, meta.tid
+                    );
+                    fmt_us(&mut out, ev.ts_ns);
+                    out.push('}');
+                }
             }
         }
     }
@@ -128,6 +157,26 @@ pub struct SpanRecord {
     pub end: u64,
 }
 
+/// One matched `"s"`/`"f"` flow pair: a causal edge from the lane that
+/// sent a parcel to the lane that received it, paired by flow id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowEdge {
+    /// Flow id shared by both ends.
+    pub id: u64,
+    /// Sending locality.
+    pub src_pid: u64,
+    /// Sending thread.
+    pub src_tid: u64,
+    /// Send timestamp, ns on the sender's clock.
+    pub src_ts: u64,
+    /// Receiving locality.
+    pub dst_pid: u64,
+    /// Receiving thread.
+    pub dst_tid: u64,
+    /// Receive timestamp, ns on the receiver's clock.
+    pub dst_ts: u64,
+}
+
 /// What [`validate`] learned about a trace file.
 #[derive(Debug, Clone, Default)]
 pub struct TraceSummary {
@@ -135,6 +184,13 @@ pub struct TraceSummary {
     pub spans: u64,
     /// Number of `"i"` instant events.
     pub instants: u64,
+    /// Number of `"s"` flow-start events.
+    pub flow_starts: u64,
+    /// Number of `"f"` flow-end events.
+    pub flow_ends: u64,
+    /// Matched flow pairs — the cross-locality happens-before edges the
+    /// distributed critical path routes through.
+    pub flow_edges: Vec<FlowEdge>,
     /// Distinct `(pid, tid)` lanes carrying events.
     pub threads: usize,
     /// Distinct pids (locality lanes).
@@ -263,6 +319,10 @@ pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
     let mut spans: BTreeMap<(u64, u64), Vec<SpanRec>> = BTreeMap::new();
     let mut last_done: BTreeMap<(u64, u64), u64> = BTreeMap::new();
     let mut pids: Vec<u64> = Vec::new();
+    // Flow ends are paired after the sweep: the sender's lane can appear
+    // later in the file than the receiver's, so an "f" may precede its "s".
+    let mut flow_starts: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+    let mut flow_ends: Vec<(usize, u64, u64, u64, u64)> = Vec::new();
 
     for (i, ev) in events.iter().enumerate() {
         let ph = req_str(ev, "ph").map_err(|e| format!("event {i}: {e}"))?;
@@ -359,8 +419,67 @@ pub fn validate(json_text: &str) -> Result<TraceSummary, String> {
                 *summary.by_cat.entry(cat.to_string()).or_insert(0) += 1;
                 *summary.by_name.entry(name.to_string()).or_insert(0) += 1;
             }
+            "s" | "f" => {
+                // Flow events: point markers on a lane, paired by id. They
+                // share the per-lane completion-order invariant (recorded
+                // immediately, like instants) but are exempt from span
+                // nesting — an arrow endpoint lives *inside* its enclosing
+                // parcel_send/parcel_recv slice.
+                let name = req_str(ev, "name").map_err(|e| format!("event {i}: {e}"))?;
+                let cat = req_str(ev, "cat").map_err(|e| format!("event {i}: {e}"))?;
+                let id = req_num(ev, "id").map_err(|e| format!("event {i}: {e}"))? as u64;
+                let pid = req_num(ev, "pid").map_err(|e| format!("event {i}: {e}"))? as u64;
+                let tid = req_num(ev, "tid").map_err(|e| format!("event {i}: {e}"))? as u64;
+                let ts = us_to_ns(req_num(ev, "ts").map_err(|e| format!("event {i}: {e}"))?)?;
+                let key = (pid, tid);
+                if !pids.contains(&pid) {
+                    pids.push(pid);
+                }
+                if ph == "s" {
+                    summary.flow_starts += 1;
+                    flow_starts.insert(id, (pid, tid, ts));
+                } else {
+                    summary.flow_ends += 1;
+                    flow_ends.push((i, id, pid, tid, ts));
+                }
+                summary.first_ts_ns = summary.first_ts_ns.min(ts);
+                summary.last_end_ns = summary.last_end_ns.max(ts);
+                if let Some(prev) = last_done.get(&key) {
+                    if ts < *prev {
+                        return Err(format!(
+                            "event {i} ({name}): completion time regressed on pid {pid} tid \
+                             {tid} ({ts} ns after {prev} ns)"
+                        ));
+                    }
+                }
+                last_done.insert(key, ts);
+                *summary.by_cat.entry(cat.to_string()).or_insert(0) += 1;
+                *summary.by_name.entry(name.to_string()).or_insert(0) += 1;
+            }
             other => return Err(format!("event {i}: unsupported phase {other:?}")),
         }
+    }
+
+    // Pair flow ends with their starts. A dangling "f" (no matching "s")
+    // is a broken causal edge and fails validation; an unmatched "s" is
+    // legal (its receiver's ring may have overwritten the "f", or the
+    // parcel is still in flight at export time).
+    for (i, id, dst_pid, dst_tid, dst_ts) in flow_ends {
+        let Some(&(src_pid, src_tid, src_ts)) = flow_starts.get(&id) else {
+            return Err(format!(
+                "event {i}: dangling flow — \"f\" with id {id} has no matching \"s\" start \
+                 anywhere in the trace"
+            ));
+        };
+        summary.flow_edges.push(FlowEdge {
+            id,
+            src_pid,
+            src_tid,
+            src_ts,
+            dst_pid,
+            dst_tid,
+            dst_ts,
+        });
     }
 
     // Strict nesting per thread: sort (ts asc, end desc), sweep a stack.
@@ -576,6 +695,67 @@ mod tests {
         assert_eq!(s.records[0].name, "gravity_solve");
         assert_eq!(s.records[0].cat, "phase");
         assert_eq!((s.records[0].ts, s.records[0].end), (1000, 5000));
+    }
+
+    fn flow_ev(name: &'static str, ts: u64, kind: EventKind) -> Event {
+        Event {
+            cat: Cat::Comm,
+            name,
+            ts_ns: ts,
+            kind,
+        }
+    }
+
+    #[test]
+    fn flow_events_round_trip_and_pair_across_localities() {
+        // Receiver lane (pid 0) appears *first* in the file — "f" before
+        // its "s" — and pairing must still succeed.
+        let trace = Trace {
+            threads: vec![
+                (
+                    meta(0, 0, "parcel-rx"),
+                    vec![
+                        flow_ev("parcel", 5000, EventKind::FlowEnd { id: 7 }),
+                        span_ev("parcel_recv", Cat::Comm, 4900, 300),
+                    ],
+                ),
+                (
+                    meta(1, 1, "worker0"),
+                    vec![
+                        flow_ev("parcel", 1000, EventKind::FlowStart { id: 7 }),
+                        flow_ev("parcel", 1200, EventKind::FlowStart { id: 8 }),
+                    ],
+                ),
+            ],
+            dropped: 0,
+        };
+        let out = export(&trace);
+        assert!(out.contains("\"ph\":\"s\""));
+        assert!(out.contains("\"ph\":\"f\",\"bp\":\"e\""));
+        let s = validate(&out).unwrap();
+        assert_eq!((s.flow_starts, s.flow_ends), (2, 1));
+        assert_eq!(s.flow_edges.len(), 1);
+        let e = s.flow_edges[0];
+        assert_eq!((e.id, e.src_pid, e.dst_pid), (7, 1, 0));
+        assert_eq!((e.src_ts, e.dst_ts), (1000, 5000));
+        // Flow points don't count as spans/instants but do count lanes.
+        assert_eq!((s.spans, s.instants), (1, 0));
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.count_cat("comm"), 4);
+    }
+
+    #[test]
+    fn rejects_dangling_flow_end() {
+        let trace = Trace {
+            threads: vec![(
+                meta(0, 0, "parcel-rx"),
+                vec![flow_ev("parcel", 100, EventKind::FlowEnd { id: 99 })],
+            )],
+            dropped: 0,
+        };
+        let err = validate(&export(&trace)).unwrap_err();
+        assert!(err.contains("dangling flow"), "{err}");
+        assert!(err.contains("id 99"), "{err}");
     }
 
     #[test]

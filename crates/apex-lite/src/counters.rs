@@ -18,8 +18,222 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets in a [`Histogram`]: 16 exact unit buckets for values
+/// below 16, then 4 sub-buckets per power of two up to `u64::MAX`
+/// (octaves 4..=63 → 60 × 4 = 240 log-linear buckets).
+pub const HISTOGRAM_BUCKETS: usize = 256;
+
+/// Worst-case relative error of a [`Histogram::quantile`] estimate.
+///
+/// Log-linear buckets in octave `o` are `2^(o-2)` wide on a lower bound of
+/// at least `2^o`, so the true value is within ±½ bucket of the returned
+/// midpoint: `(2^(o-2) / 2) / 2^o = 1/8`. Values below 16 land in exact
+/// unit buckets (zero error).
+pub const HISTOGRAM_MAX_RELATIVE_ERROR: f64 = 0.125;
+
+/// Log-bucketed value distribution — the HPX/APEX latency-percentile
+/// primitive (HdrHistogram-style log-linear buckets).
+///
+/// Fixed-size and `Copy`, so it travels inside [`CounterValue`] through
+/// snapshots, deltas and cross-locality merges without allocation. Bucket
+/// counts add element-wise, which makes [`Histogram::merge`] associative
+/// and commutative: locality snapshots can be combined in any order and
+/// grouping and yield the identical distribution.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+/// Bucket index of `v` under the log-linear scheme.
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (octave - 2)) & 3) as usize;
+    16 + (octave - 4) * 4 + sub
+}
+
+/// Inclusive-lower/exclusive-upper value bounds of bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 16 {
+        return (i as u64, i as u64 + 1);
+    }
+    let k = i - 16;
+    let octave = 4 + (k / 4) as u32;
+    let sub = (k % 4) as u64;
+    let width = 1u64 << (octave - 2);
+    let lower = (1u64 << octave) + sub * width;
+    (lower, lower.saturating_add(width))
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of recorded observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merge `other` into `self` (bucket-wise add — associative and
+    /// commutative, so locality snapshots combine in any order).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Bucket-wise `self − prev` (saturating), for per-interval deltas.
+    pub fn delta(&self, prev: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (i, (b, p)) in self.buckets.iter().zip(&prev.buckets).enumerate() {
+            out.buckets[i] = b.saturating_sub(*p);
+        }
+        out.count = self.count.saturating_sub(prev.count);
+        out.sum = self.sum.saturating_sub(prev.sum);
+        out
+    }
+
+    /// Estimate of the `q`-quantile (`0.0 ..= 1.0`): the midpoint of the
+    /// bucket holding the ⌈q·count⌉-th smallest observation, exact for
+    /// values < 16 and within [`HISTOGRAM_MAX_RELATIVE_ERROR`] otherwise.
+    /// Returns 0 on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                let (lo, hi) = bucket_bounds(i);
+                return if i < 16 { lo } else { lo + (hi - lo) / 2 };
+            }
+        }
+        bucket_bounds(HISTOGRAM_BUCKETS - 1).0
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("p50", &self.quantile(0.5))
+            .field("p95", &self.quantile(0.95))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+/// Lock-free shared recording side of a [`Histogram`] — parcel receive and
+/// coalescer threads record concurrently with relaxed atomics; providers
+/// take a coherent-enough [`AtomicHistogram::snapshot`] at sample time.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation (relaxed; safe from any thread).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state into a value [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (b, a) in h.buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        // Derive count/sum from the caller-visible invariant fields; the
+        // bucket array may race ahead of them by in-flight records, which
+        // only ever under-reports the newest observations.
+        h.count = self
+            .count
+            .load(Ordering::Relaxed)
+            .min(h.buckets.iter().sum());
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h
+    }
+}
 
 /// One counter value.
+///
+/// The histogram variant is ~2 KiB inline; boxing it would cost an
+/// allocation per histogram per sampler tick and take `Copy` away from
+/// every snapshot consumer. Snapshots live for one tick, so the inline
+/// size is the better trade.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CounterValue {
     /// Monotonically accumulating event count (delta-able).
@@ -27,14 +241,20 @@ pub enum CounterValue {
     /// Point-in-time measurement (watts, ratios); deltas keep the newer
     /// reading.
     Gauge(f64),
+    /// Value distribution with percentile estimates; deltas subtract
+    /// bucket-wise, merges add bucket-wise.
+    Histogram(Histogram),
 }
 
 impl CounterValue {
-    /// Numeric view (for tables and plotting).
+    /// Numeric view (for tables and plotting); a histogram reads as its
+    /// observation count (percentiles ride along as derived gauges, see
+    /// [`Collector::histogram`]).
     pub fn as_f64(&self) -> f64 {
         match self {
             CounterValue::Count(v) => *v as f64,
             CounterValue::Gauge(v) => *v,
+            CounterValue::Histogram(h) => h.count() as f64,
         }
     }
 }
@@ -44,6 +264,13 @@ impl std::fmt::Display for CounterValue {
         match self {
             CounterValue::Count(v) => write!(f, "{v}"),
             CounterValue::Gauge(v) => write!(f, "{v:.3}"),
+            CounterValue::Histogram(h) => write!(
+                f,
+                "n={} p50={} p99={}",
+                h.count(),
+                h.quantile(0.5),
+                h.quantile(0.99)
+            ),
         }
     }
 }
@@ -68,6 +295,19 @@ impl CounterSnapshot {
     /// Set a gauge at `path`.
     pub fn set_gauge(&mut self, path: impl Into<String>, v: f64) {
         self.values.insert(path.into(), CounterValue::Gauge(v));
+    }
+
+    /// Set a histogram at `path`.
+    pub fn set_histogram(&mut self, path: impl Into<String>, h: Histogram) {
+        self.values.insert(path.into(), CounterValue::Histogram(h));
+    }
+
+    /// Histogram at `path` (`None` when absent or another kind).
+    pub fn histogram(&self, path: &str) -> Option<Histogram> {
+        match self.get(path) {
+            Some(CounterValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
     }
 
     /// Value at `path`, if sampled.
@@ -123,6 +363,9 @@ impl CounterSnapshot {
                 (CounterValue::Count(now), Some(CounterValue::Count(then))) => {
                     CounterValue::Count(now.saturating_sub(then))
                 }
+                (CounterValue::Histogram(now), Some(CounterValue::Histogram(then))) => {
+                    CounterValue::Histogram(now.delta(&then))
+                }
                 (v, _) => v,
             };
             out.values.insert(path.to_string(), dv);
@@ -146,6 +389,21 @@ impl Collector<'_> {
     /// Emit a gauge at `{prefix}/{name}`.
     pub fn gauge(&mut self, name: &str, v: f64) {
         self.snap.set_gauge(format!("{}/{}", self.prefix, name), v);
+    }
+
+    /// Emit a histogram at `{prefix}/{name}` plus derived percentile gauges
+    /// at `{prefix}/{name}/p50`, `/p95`, `/p99` (same unit as recorded), so
+    /// the percentiles flow through plain-f64 paths — the sampler's
+    /// [`TimeSeries`](crate::TimeSeries) and Chrome `"C"` counter tracks.
+    pub fn histogram(&mut self, name: &str, h: &Histogram) {
+        let base = format!("{}/{}", self.prefix, name);
+        self.snap
+            .set_gauge(format!("{base}/p50"), h.quantile(0.5) as f64);
+        self.snap
+            .set_gauge(format!("{base}/p95"), h.quantile(0.95) as f64);
+        self.snap
+            .set_gauge(format!("{base}/p99"), h.quantile(0.99) as f64);
+        self.snap.set_histogram(base, *h);
     }
 }
 
@@ -317,6 +575,106 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count("/x"), 9);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_exact_below_16_and_bounded_above() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+            assert_eq!(bucket_index(v), v as usize);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        // Log-linear region: bounds bracket the value, width/lower ≤ 1/4.
+        for v in [16u64, 17, 100, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(
+                lo <= v && (v < hi || hi == u64::MAX),
+                "{v} not in [{lo},{hi})"
+            );
+            assert!((hi - lo) as f64 / lo as f64 <= 0.25 + 1e-12);
+        }
+        // Indices cover [0, HISTOGRAM_BUCKETS) and never panic.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_ordered() {
+        let mut h = Histogram::new();
+        for v in [5u64, 5, 5, 100, 100, 10_000, 1_000_000] {
+            h.record(v);
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert_eq!(h.quantile(0.1), 5, "exact in the unit-bucket region");
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [1u64, 30, 700, 700, 44_000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 30, 9_999_999] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m, all);
+        // Delta of a merge recovers the other half.
+        assert_eq!(m.delta(&b), a);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_round_trips() {
+        let ah = AtomicHistogram::new();
+        for v in [3u64, 3, 250, 1 << 30] {
+            ah.record(v);
+        }
+        let h = ah.snapshot();
+        assert_eq!(h.count(), 4);
+        assert_eq!(ah.count(), 4);
+        assert_eq!(h.sum(), 3 + 3 + 250 + (1 << 30));
+    }
+
+    #[test]
+    fn histogram_counter_value_flows_through_snapshot_and_delta() {
+        let mut h1 = Histogram::new();
+        h1.record(10);
+        let mut h2 = h1;
+        h2.record(500);
+        h2.record(600);
+        let mut a = CounterSnapshot::new();
+        a.set_histogram("/comms/parcel_latency", h1);
+        let mut b = CounterSnapshot::new();
+        b.set_histogram("/comms/parcel_latency", h2);
+        let d = b.delta(&a);
+        let dh = d.histogram("/comms/parcel_latency").unwrap();
+        assert_eq!(dh.count(), 2);
+        assert_eq!(b.get("/comms/parcel_latency").unwrap().as_f64(), 3.0);
+        // Collector emits the base histogram plus percentile gauges.
+        let mut reg = CounterRegistry::new();
+        reg.register("/comms", move |c| c.histogram("parcel_latency", &h2));
+        let s = reg.sample();
+        assert!(s.histogram("/comms/parcel_latency").is_some());
+        for p in ["p50", "p95", "p99"] {
+            assert!(
+                matches!(
+                    s.get(&format!("/comms/parcel_latency/{p}")),
+                    Some(CounterValue::Gauge(_))
+                ),
+                "missing derived {p}"
+            );
+        }
+        let t = render_table("hist", &s);
+        assert!(t.contains("n=3"));
     }
 
     #[test]

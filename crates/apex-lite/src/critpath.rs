@@ -28,7 +28,7 @@
 //! path" is a one-line read.
 
 use crate::chrome::TraceSummary;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One merged activity segment of a named phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,6 +199,297 @@ pub fn critical_path(summary: &TraceSummary, phases: &[String]) -> CriticalPath 
         slack_ns: wall_ns.saturating_sub(path_ns),
         segments,
         by_phase,
+    }
+}
+
+/// Result of [`critical_path_distributed`]: the comms-aware critical path
+/// plus the distributed-only diagnostics `trace_report`'s comms section
+/// prints.
+#[derive(Debug, Clone, Default)]
+pub struct DistCriticalPath {
+    /// The path itself (`"network"` segments are the wire legs).
+    pub path: CriticalPath,
+    /// Nanoseconds of the path spent on network legs.
+    pub network_ns: u64,
+    /// Number of cross-locality flow edges the path routes through.
+    pub network_edges_on_path: u64,
+    /// Per-locality single-locality path lengths (the distributed path is
+    /// ≥ each of these by construction).
+    pub per_locality_path_ns: BTreeMap<u64, u64>,
+    /// Estimated per-locality clock offsets (subtract from that
+    /// locality's raw timestamps to land on the reference clock).
+    pub offsets: BTreeMap<u64, i64>,
+}
+
+/// Estimate per-locality clock offsets from the flow edges, HPX/APEX
+/// trace-merge style. Each locality's monotonic trace clock has an
+/// arbitrary epoch; an edge `a → b` observes
+/// `latency + (δ_b − δ_a)`, so with traffic in both directions
+/// `δ_b − δ_a ≈ (min_obs(a→b) − min_obs(b→a)) / 2` (the minima see the
+/// same uncongested wire latency). Offsets are relative to the smallest
+/// pid; localities unreachable through bidirectional links stay at 0.
+pub fn clock_offsets(summary: &TraceSummary) -> BTreeMap<u64, i64> {
+    let mut pids: Vec<u64> = summary.records.iter().map(|r| r.pid).collect();
+    for e in &summary.flow_edges {
+        pids.push(e.src_pid);
+        pids.push(e.dst_pid);
+    }
+    pids.sort_unstable();
+    pids.dedup();
+    let mut offsets: BTreeMap<u64, i64> = pids.iter().map(|&p| (p, 0i64)).collect();
+    if pids.len() < 2 || summary.flow_edges.is_empty() {
+        return offsets;
+    }
+
+    // Minimum observed one-way "latency" (receiver clock − sender clock,
+    // can be negative under skew) per directed locality pair.
+    let mut min_obs: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+    for e in &summary.flow_edges {
+        if e.src_pid == e.dst_pid {
+            continue;
+        }
+        let obs = e.dst_ts as i64 - e.src_ts as i64;
+        min_obs
+            .entry((e.src_pid, e.dst_pid))
+            .and_modify(|m| *m = (*m).min(obs))
+            .or_insert(obs);
+    }
+
+    // Propagate from the reference pid through bidirectional links.
+    let reference = pids[0];
+    let mut settled: Vec<u64> = vec![reference];
+    let mut frontier = vec![reference];
+    while let Some(a) = frontier.pop() {
+        let base = offsets[&a];
+        for &b in &pids {
+            if settled.contains(&b) {
+                continue;
+            }
+            if let (Some(&ab), Some(&ba)) = (min_obs.get(&(a, b)), min_obs.get(&(b, a))) {
+                offsets.insert(b, base + (ab - ba) / 2);
+                settled.push(b);
+                frontier.push(b);
+            }
+        }
+    }
+    offsets
+}
+
+/// One node of the distributed happens-before DAG: a phase activity
+/// segment pinned to its locality, or a network leg bridging two.
+struct DistSeg {
+    name: String,
+    start_ns: u64,
+    end_ns: u64,
+    /// Locality a predecessor must end on.
+    pid_in: u64,
+    /// Locality a successor must start on.
+    pid_out: u64,
+}
+
+impl DistSeg {
+    fn dur(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Longest pid-chained happens-before chain over `segs`:
+/// `dp[i] = dur_i + max{dp[j] : end_j ≤ start_i ∧ pid_out_j == pid_in_i}`.
+/// Returns `(path_ns, chain indices in time order)`. O(n²), fine at the
+/// scale of merged phase segments + flow edges.
+fn chain_dp(segs: &[DistSeg]) -> (u64, Vec<usize>) {
+    let n = segs.len();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let mut dp = vec![0u64; n];
+    let mut prev = vec![usize::MAX; n];
+    for i in 0..n {
+        dp[i] = segs[i].dur();
+        for j in 0..n {
+            if segs[j].end_ns <= segs[i].start_ns
+                && segs[j].pid_out == segs[i].pid_in
+                && dp[j] + segs[i].dur() > dp[i]
+            {
+                dp[i] = dp[j] + segs[i].dur();
+                prev[i] = j;
+            }
+        }
+    }
+    let best = (0..n).max_by_key(|&i| dp[i]).expect("non-empty");
+    let mut chain = Vec::new();
+    let mut at = best;
+    loop {
+        chain.push(at);
+        if prev[at] == usize::MAX {
+            break;
+        }
+        at = prev[at];
+    }
+    chain.reverse();
+    (dp[best], chain)
+}
+
+/// Comms-aware critical path across localities. Like [`critical_path`],
+/// but activity segments are merged **per locality** (work on locality 1
+/// cannot extend a chain on locality 0 without a parcel in between), flow
+/// edges become `"network"` legs whose endpoints pin the chain to the
+/// sending/receiving locality, and all timestamps are corrected onto one
+/// clock via [`clock_offsets`] (recv clamped to ≥ send, so causality
+/// survives estimation error).
+///
+/// When the trace carries flow edges, the chain pool is every
+/// non-scheduler span on the parcel-exchanging localities — `sched`
+/// (idle) spans are excluded, and so is any coordination lane whose pid
+/// exchanges no parcels: its phase envelopes span whole remote exchanges
+/// and would tile the wall, hiding the wire legs they contain. Without
+/// flow edges the function falls back to the `phases` list and matches
+/// the single-locality analysis exactly.
+pub fn critical_path_distributed(summary: &TraceSummary, phases: &[String]) -> DistCriticalPath {
+    let offsets = clock_offsets(summary);
+    let correct = |pid: u64, ts: u64| -> u64 {
+        let off = offsets.get(&pid).copied().unwrap_or(0);
+        (ts as i64 - off).max(0) as u64
+    };
+
+    // Per-(name, pid) merged activity segments on the corrected clock.
+    let flow_pids: BTreeSet<u64> = summary
+        .flow_edges
+        .iter()
+        .flat_map(|e| [e.src_pid, e.dst_pid])
+        .collect();
+    let mut by_name_pid: BTreeMap<(&str, u64), Vec<(u64, u64)>> = BTreeMap::new();
+    for rec in &summary.records {
+        let include = if flow_pids.is_empty() {
+            phases.iter().any(|p| p == &rec.name)
+        } else {
+            flow_pids.contains(&rec.pid) && rec.cat != "sched"
+        };
+        if include {
+            by_name_pid
+                .entry((rec.name.as_str(), rec.pid))
+                .or_default()
+                .push((correct(rec.pid, rec.ts), correct(rec.pid, rec.end)));
+        }
+    }
+    let mut segs: Vec<DistSeg> = Vec::new();
+    let mut active: BTreeMap<&str, u64> = BTreeMap::new();
+    for ((name, pid), intervals) in by_name_pid {
+        for (s, e) in merge_intervals(&intervals) {
+            *active.entry(name).or_insert(0) += e - s;
+            segs.push(DistSeg {
+                name: name.to_string(),
+                start_ns: s,
+                end_ns: e,
+                pid_in: pid,
+                pid_out: pid,
+            });
+        }
+    }
+
+    // Network legs: corrected send → corrected recv, clamped causal.
+    let mut network_active = 0u64;
+    for e in &summary.flow_edges {
+        let src = correct(e.src_pid, e.src_ts);
+        let dst = correct(e.dst_pid, e.dst_ts).max(src);
+        network_active += dst - src;
+        segs.push(DistSeg {
+            name: "network".to_string(),
+            start_ns: src,
+            end_ns: dst,
+            pid_in: e.src_pid,
+            pid_out: e.dst_pid,
+        });
+    }
+    if !summary.flow_edges.is_empty() {
+        active.insert("network", network_active);
+    }
+
+    let wall_ns = segs
+        .iter()
+        .map(|s| s.end_ns)
+        .max()
+        .unwrap_or(0)
+        .saturating_sub(segs.iter().map(|s| s.start_ns).min().unwrap_or(0));
+
+    segs.sort_by(|a, b| {
+        a.end_ns
+            .cmp(&b.end_ns)
+            .then(a.start_ns.cmp(&b.start_ns))
+            .then(a.name.cmp(&b.name))
+    });
+    let (path_ns, chain) = chain_dp(&segs);
+
+    let segments: Vec<PhaseSegment> = chain
+        .iter()
+        .map(|&i| PhaseSegment {
+            name: segs[i].name.clone(),
+            start_ns: segs[i].start_ns,
+            end_ns: segs[i].end_ns,
+        })
+        .collect();
+    let network_ns: u64 = chain
+        .iter()
+        .filter(|&&i| segs[i].name == "network")
+        .map(|&i| segs[i].dur())
+        .sum();
+    let network_edges_on_path = chain.iter().filter(|&&i| segs[i].name == "network").count() as u64;
+
+    let mut path_by_phase: BTreeMap<&str, u64> = BTreeMap::new();
+    for &i in &chain {
+        *path_by_phase.entry(segs[i].name.as_str()).or_insert(0) += segs[i].dur();
+    }
+    let mut by_phase: Vec<PhaseContribution> = active
+        .iter()
+        .map(|(&name, &active_ns)| PhaseContribution {
+            name: name.to_string(),
+            path_ns: path_by_phase.get(name).copied().unwrap_or(0),
+            active_ns,
+            spans: if name == "network" {
+                summary.flow_edges.len() as u64
+            } else {
+                summary.count_name(name)
+            },
+        })
+        .collect();
+    by_phase.sort_by(|a, b| b.path_ns.cmp(&a.path_ns).then(a.name.cmp(&b.name)));
+
+    // Single-locality baselines: the same DP restricted to one pid's
+    // segments (no network legs) — each is a feasible chain of the
+    // global problem, so `path_ns` dominates every one of them.
+    let seg_pids: BTreeSet<u64> = segs
+        .iter()
+        .filter(|s| s.name != "network")
+        .map(|s| s.pid_in)
+        .collect();
+    let mut per_locality_path_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for &pid in &seg_pids {
+        let local: Vec<DistSeg> = segs
+            .iter()
+            .filter(|s| s.name != "network" && s.pid_in == pid)
+            .map(|s| DistSeg {
+                name: s.name.clone(),
+                start_ns: s.start_ns,
+                end_ns: s.end_ns,
+                pid_in: s.pid_in,
+                pid_out: s.pid_out,
+            })
+            .collect();
+        per_locality_path_ns.insert(pid, chain_dp(&local).0);
+    }
+
+    DistCriticalPath {
+        path: CriticalPath {
+            wall_ns,
+            path_ns,
+            slack_ns: wall_ns.saturating_sub(path_ns),
+            segments,
+            by_phase,
+        },
+        network_ns,
+        network_edges_on_path,
+        per_locality_path_ns,
+        offsets,
     }
 }
 
@@ -460,6 +751,155 @@ mod tests {
         assert_eq!((cp.wall_ns, cp.path_ns), (0, 0));
         assert!(worker_utilization(&empty).is_empty());
         assert_eq!(imbalance_ratio(&[]), 0.0);
+    }
+
+    /// Two localities with a 100 µs clock skew on locality 1 and traffic
+    /// in both directions. On the corrected clock:
+    ///
+    /// ```text
+    /// loc0: compute [0,1000)                        finish [3200,4000)
+    ///         └─ net id7 [1000,1200) ─┐   ┌─ net id8 [3000,3200) ─┘
+    /// loc1:                  compute [1500,3000)
+    /// ```
+    /// → path = 1000 + 200 + 1500 + 200 + 800 = 3700 of wall 4000.
+    fn dist_fixture() -> TraceSummary {
+        const SKEW: u64 = 100_000; // loc1's clock runs 100 µs ahead
+        let trace = Trace {
+            threads: vec![
+                (
+                    meta(0, 1, "worker0"),
+                    vec![
+                        span_ev("compute", Cat::Phase, 0, 1000),
+                        Event {
+                            cat: Cat::Comm,
+                            name: "parcel",
+                            ts_ns: 1000,
+                            kind: EventKind::FlowStart { id: 7 },
+                        },
+                        Event {
+                            cat: Cat::Comm,
+                            name: "parcel",
+                            ts_ns: 3200,
+                            kind: EventKind::FlowEnd { id: 8 },
+                        },
+                        span_ev("finish", Cat::Phase, 3200, 800),
+                    ],
+                ),
+                (
+                    meta(1, 1, "worker0"),
+                    vec![
+                        Event {
+                            cat: Cat::Comm,
+                            name: "parcel",
+                            ts_ns: SKEW + 1200,
+                            kind: EventKind::FlowEnd { id: 7 },
+                        },
+                        span_ev("compute", Cat::Phase, SKEW + 1500, 1500),
+                        Event {
+                            cat: Cat::Comm,
+                            name: "parcel",
+                            ts_ns: SKEW + 3000,
+                            kind: EventKind::FlowStart { id: 8 },
+                        },
+                    ],
+                ),
+            ],
+            dropped: 0,
+        };
+        validate(&export(&trace)).unwrap()
+    }
+
+    #[test]
+    fn clock_offsets_recover_skew_from_bidirectional_minima() {
+        let s = dist_fixture();
+        let off = clock_offsets(&s);
+        assert_eq!(off.get(&0), Some(&0));
+        // min(0→1) = 101_200 − 1000 = 100_200; min(1→0) = 3200 − 103_000
+        // = −99_800 → δ₁ = (100_200 − (−99_800)) / 2 = 100_000.
+        assert_eq!(off.get(&1), Some(&100_000));
+    }
+
+    #[test]
+    fn distributed_path_routes_through_network_legs() {
+        let s = dist_fixture();
+        let dist = critical_path_distributed(&s, &phases(&["compute", "finish"]));
+        assert_eq!(dist.path.wall_ns, 4000);
+        assert_eq!(dist.path.path_ns, 3700);
+        assert_eq!(dist.network_ns, 400);
+        assert_eq!(dist.network_edges_on_path, 2);
+        let names: Vec<&str> = dist.path.segments.iter().map(|g| g.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["compute", "network", "compute", "network", "finish"]
+        );
+        // Single-locality baselines are dominated by the distributed path.
+        assert_eq!(dist.per_locality_path_ns.get(&0), Some(&1800));
+        assert_eq!(dist.per_locality_path_ns.get(&1), Some(&1500));
+        for (&pid, &local) in &dist.per_locality_path_ns {
+            assert!(dist.path.path_ns >= local, "path < locality {pid} path");
+        }
+        assert!(dist.path.path_ns <= dist.path.wall_ns);
+        // Network shows up in the per-phase table with its edge count.
+        let net = dist
+            .path
+            .by_phase
+            .iter()
+            .find(|p| p.name == "network")
+            .expect("network row");
+        assert_eq!((net.path_ns, net.active_ns, net.spans), (400, 400, 2));
+    }
+
+    #[test]
+    fn distributed_path_without_skew_correction_would_break_causality() {
+        // Sanity on the clamp: feed a single edge (no reverse traffic, so
+        // offsets stay 0) whose raw recv precedes its raw send — the
+        // network leg must clamp to zero length, never underflow.
+        let trace = Trace {
+            threads: vec![
+                (
+                    meta(0, 1, "w"),
+                    vec![Event {
+                        cat: Cat::Comm,
+                        name: "parcel",
+                        ts_ns: 5000,
+                        kind: EventKind::FlowStart { id: 1 },
+                    }],
+                ),
+                (
+                    meta(1, 1, "w"),
+                    vec![
+                        Event {
+                            cat: Cat::Comm,
+                            name: "parcel",
+                            ts_ns: 200,
+                            kind: EventKind::FlowEnd { id: 1 },
+                        },
+                        span_ev("compute", Cat::Phase, 6000, 1000),
+                    ],
+                ),
+            ],
+            dropped: 0,
+        };
+        let s = validate(&export(&trace)).unwrap();
+        let dist = critical_path_distributed(&s, &phases(&["compute"]));
+        assert_eq!(dist.network_ns, 0);
+        // The zero-length leg still chains: send@5000 → recv clamps to
+        // 5000 on loc1 → compute [6000,7000) is reachable.
+        assert_eq!(dist.path.path_ns, 1000);
+        assert!(dist.path.path_ns <= dist.path.wall_ns);
+    }
+
+    #[test]
+    fn distributed_matches_single_locality_analysis_on_one_pid() {
+        let s = fixture();
+        let names = default_phases(&s);
+        let cp = critical_path(&s, &names);
+        let dist = critical_path_distributed(&s, &names);
+        assert_eq!(dist.path.path_ns, cp.path_ns);
+        assert_eq!(dist.network_ns, 0);
+        assert_eq!(dist.network_edges_on_path, 0);
+        assert_eq!(dist.per_locality_path_ns.get(&0), Some(&cp.path_ns));
+        assert!(dist.offsets.values().all(|&o| o == 0));
     }
 
     #[test]

@@ -43,17 +43,20 @@ pub mod json;
 pub mod sampler;
 pub mod trace;
 
-pub use chrome::{export, export_with_counters, validate, SpanRecord, TraceSummary};
+pub use chrome::{export, export_with_counters, validate, FlowEdge, SpanRecord, TraceSummary};
 pub use counters::{
-    render_step_table, render_table, Collector, CounterRegistry, CounterSnapshot, CounterValue,
+    render_step_table, render_table, AtomicHistogram, Collector, CounterRegistry, CounterSnapshot,
+    CounterValue, Histogram, HISTOGRAM_BUCKETS, HISTOGRAM_MAX_RELATIVE_ERROR,
 };
 pub use critpath::{
-    critical_path, default_phases, imbalance_ratio, worker_utilization, CriticalPath,
-    PhaseContribution, PhaseSegment, WorkerUtilization,
+    clock_offsets, critical_path, critical_path_distributed, default_phases, imbalance_ratio,
+    worker_utilization, CriticalPath, DistCriticalPath, PhaseContribution, PhaseSegment,
+    WorkerUtilization,
 };
 pub use flame::{collapsed_stacks, render_collapsed};
 pub use sampler::{Sampler, TimeSeries, SERIES_CAPACITY};
 pub use trace::{
-    drain, enabled, instant, now_ns, reset, set_enabled, set_thread_label, span, tracer_allocs,
-    Cat, Event, EventKind, SpanGuard, ThreadLabel, ThreadMeta, Trace, RING_CAPACITY,
+    drain, enabled, flow_end, flow_start, instant, now_ns, reset, set_enabled, set_thread_label,
+    span, tracer_allocs, Cat, Event, EventKind, SpanGuard, ThreadLabel, ThreadMeta, Trace,
+    RING_CAPACITY,
 };

@@ -114,7 +114,13 @@ impl Sampler {
             .spawn(move || {
                 let mut out = TimeSeries::default();
                 loop {
-                    out.push(trace::now_ns(), &registry.sample());
+                    let mut snap = registry.sample();
+                    // Surface the sampler's own ring-buffer evictions as a
+                    // counter, so a coarsened tail is visible in the data
+                    // itself. The value lags one tick: this sample reports
+                    // drops up to the *previous* push.
+                    snap.set_count("/apex/sampler/dropped_points", out.dropped);
+                    out.push(trace::now_ns(), &snap);
                     if stop_flag.load(Ordering::Acquire) {
                         break;
                     }
@@ -155,7 +161,12 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         let ts = sampler.stop();
         assert!(ts.samples >= 2, "expected >=2 samples, got {}", ts.samples);
-        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.len(), 3, "two registered series + the drop counter");
+        assert_eq!(
+            ts.last("/apex/sampler/dropped_points"),
+            Some(0.0),
+            "a short run drops nothing"
+        );
         let ticks = &ts.series["/test/ticks"];
         assert!(ticks.windows(2).all(|w| w[0].0 <= w[1].0), "ts not sorted");
         assert!(ticks.windows(2).all(|w| w[0].1 <= w[1].1), "count fell");

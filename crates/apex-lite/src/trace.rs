@@ -74,6 +74,17 @@ pub enum EventKind {
     },
     /// A point event (`ph: "i"`).
     Instant,
+    /// Start of a causal flow arrow (`ph: "s"`): the send side of a
+    /// cross-thread/cross-locality edge, paired by `id`.
+    FlowStart {
+        /// Flow id matching the corresponding [`EventKind::FlowEnd`].
+        id: u64,
+    },
+    /// End of a causal flow arrow (`ph: "f"`, binding point `"e"`).
+    FlowEnd {
+        /// Flow id matching the corresponding [`EventKind::FlowStart`].
+        id: u64,
+    },
 }
 
 /// One recorded event. `name` is `&'static str` by design: recording never
@@ -357,6 +368,38 @@ pub fn instant(cat: Cat, name: &'static str) {
     with_buf(|ring| ring.push(ev));
 }
 
+/// Record the start of causal flow `id` (the send side of a parcel edge).
+/// Use the same `name` on both ends — Perfetto pairs `"s"`/`"f"` events by
+/// (name, id) and draws the arrow between their enclosing slices.
+#[inline]
+pub fn flow_start(cat: Cat, name: &'static str, id: u64) {
+    if !enabled() {
+        return;
+    }
+    let ev = Event {
+        cat,
+        name,
+        ts_ns: now_ns(),
+        kind: EventKind::FlowStart { id },
+    };
+    with_buf(|ring| ring.push(ev));
+}
+
+/// Record the end of causal flow `id` (the receive side of a parcel edge).
+#[inline]
+pub fn flow_end(cat: Cat, name: &'static str, id: u64) {
+    if !enabled() {
+        return;
+    }
+    let ev = Event {
+        cat,
+        name,
+        ts_ns: now_ns(),
+        kind: EventKind::FlowEnd { id },
+    };
+    with_buf(|ring| ring.push(ev));
+}
+
 /// Drain every thread's ring buffer into one [`Trace`], leaving the
 /// buffers empty. Threads that have died since recording are included;
 /// threads that never recorded are not.
@@ -482,6 +525,23 @@ mod tests {
         assert_eq!(meta.pid, 7);
         assert_eq!(meta.name, "renamed");
         assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn flow_events_record_ids_and_gate_on_enabled() {
+        let _g = guard();
+        flow_start(Cat::Comm, "parcel", 1);
+        flow_end(Cat::Comm, "parcel", 1);
+        assert!(drain().is_empty(), "disabled flows record nothing");
+        set_enabled(true);
+        flow_start(Cat::Comm, "parcel", 42);
+        flow_end(Cat::Comm, "parcel", 42);
+        set_enabled(false);
+        let t = drain();
+        assert_eq!(t.len(), 2);
+        let events: Vec<&Event> = t.threads.iter().flat_map(|(_, e)| e.iter()).collect();
+        assert_eq!(events[0].kind, EventKind::FlowStart { id: 42 });
+        assert_eq!(events[1].kind, EventKind::FlowEnd { id: 42 });
     }
 
     #[test]

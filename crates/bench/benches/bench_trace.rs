@@ -3,10 +3,14 @@
 //! Times identical short rotating-star runs with the apex-lite tracer off,
 //! on, and on with the 10 ms counter sampler running (recording to the
 //! per-thread ring buffers; no file export in the timed region) and records
-//! the relative overheads. The observability budget is ≤3% with the full
-//! stack enabled and exactly zero when disabled — the disabled path is
-//! verified structurally via the tracer's allocation hook rather than by
-//! timing (a one-relaxed-load difference is far below wall-clock noise).
+//! the relative overheads. A fourth leg times a coalesced two-locality
+//! distributed run — parcel-latency and flush-delay histograms recording
+//! on every parcel in both sides — with tracing off vs on, so the wire
+//! trace-context stamping and flow events carry their own budget. The
+//! observability budget is ≤3% per layer with the full stack enabled and
+//! exactly zero when disabled — the disabled path is verified structurally
+//! via the tracer's allocation hook rather than by timing (a
+//! one-relaxed-load difference is far below wall-clock noise).
 //!
 //! `BENCH_SMOKE=1` runs one short iteration for CI (no JSON write — smoke
 //! numbers must not clobber the committed baseline).
@@ -14,7 +18,7 @@
 use std::time::Instant;
 
 use apex_lite::trace;
-use octotiger::{Driver, KernelType, OctoConfig};
+use octotiger::{DistConfig, DistRun, Driver, KernelType, OctoConfig};
 
 fn bench_config(level: u32, steps: u32) -> OctoConfig {
     OctoConfig {
@@ -39,6 +43,21 @@ fn time_run(level: u32, steps: u32, sample_ms: Option<u64>) -> (f64, u64) {
     (secs, m.counter_samples)
 }
 
+/// Wall time of one coalesced two-locality distributed run (tracing state
+/// set by the caller; the latency/flush-delay histograms record on every
+/// parcel regardless, so the measured delta is the tracing increment —
+/// wire trace-context stamping, parcel_send/recv spans, flow events).
+fn time_dist_run(steps: u32) -> (f64, u64) {
+    let mut octo = bench_config(1, steps);
+    octo.coalesce = true;
+    let cfg = DistConfig::from_octo(2, octo);
+    let start = Instant::now();
+    let m = DistRun::execute(cfg);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(m.cells_processed > 0);
+    (secs, m.port.parcels)
+}
+
 fn main() {
     let smoke = std::env::var("BENCH_SMOKE").is_ok_and(|v| v == "1");
     let (level, steps, reps) = if smoke { (1, 1, 1) } else { (2, 4, 7) };
@@ -59,8 +78,11 @@ fn main() {
     let mut off = f64::INFINITY;
     let mut on = f64::INFINITY;
     let mut sampled = f64::INFINITY;
+    let mut dist_off = f64::INFINITY;
+    let mut dist_on = f64::INFINITY;
     let mut events = 0usize;
     let mut samples = 0u64;
+    let mut parcels = 0u64;
     for _ in 0..reps {
         trace::set_enabled(false);
         off = off.min(time_run(level, steps, None).0);
@@ -78,8 +100,20 @@ fn main() {
         samples = samples.max(n);
         trace::set_enabled(false);
         trace::reset();
+
+        // Distributed leg: histograms record in both runs; only the
+        // tracing state differs.
+        dist_off = dist_off.min(time_dist_run(steps).0);
+        trace::reset();
+        trace::set_enabled(true);
+        let (secs, p) = time_dist_run(steps);
+        dist_on = dist_on.min(secs);
+        parcels = parcels.max(p);
+        trace::set_enabled(false);
+        trace::reset();
     }
     assert!(samples > 0, "10 ms sampler took no counter samples");
+    assert!(parcels > 0, "distributed leg moved no parcels");
 
     let overhead_pct = (on / off - 1.0) * 100.0;
     // The sampler's own budget is its *increment* over the tracing-on run —
@@ -90,6 +124,7 @@ fn main() {
     // per-sample work is nil, which would eat the tracer's budget if the
     // two layers were lumped together.
     let sampler_overhead_pct = (sampled / on - 1.0) * 100.0;
+    let dist_overhead_pct = (dist_on / dist_off - 1.0) * 100.0;
     println!("trace-overhead/off: {:.2} ms", off * 1e3);
     println!(
         "trace-overhead/on:  {:.2} ms ({} events recorded)",
@@ -105,12 +140,22 @@ fn main() {
     println!(
         "trace-overhead/sampler-increment: {sampler_overhead_pct:+.2}% over tracing (budget ≤3%)"
     );
+    println!("trace-overhead/dist-off: {:.2} ms", dist_off * 1e3);
+    println!(
+        "trace-overhead/dist-on:  {:.2} ms ({} parcels)",
+        dist_on * 1e3,
+        parcels
+    );
+    println!("trace-overhead/dist-relative: {dist_overhead_pct:+.2}% (budget ≤3%)");
     println!("trace-overhead/disabled_allocs: {disabled_allocs}");
     if overhead_pct > 3.0 {
         println!("WARNING: tracer overhead above the 3% budget");
     }
     if sampler_overhead_pct > 3.0 {
         println!("WARNING: sampler increment above the 3% budget");
+    }
+    if dist_overhead_pct > 3.0 {
+        println!("WARNING: distributed tracing overhead above the 3% budget");
     }
 
     if smoke {
@@ -119,7 +164,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"trace_overhead\",\n  \"host_simd_isa\": \"{}\",\n  \"compiled_simd_isa\": \"{}\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"reps\": {reps},\n  \"off_seconds\": {off:.6},\n  \"on_seconds\": {on:.6},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"sampler_seconds\": {sampled:.6},\n  \"sampler_overhead_pct\": {sampler_overhead_pct:.3},\n  \"sampler_interval_ms\": 10,\n  \"counter_samples\": {samples},\n  \"budget_pct\": 3.0,\n  \"events_recorded\": {events},\n  \"disabled_tracer_allocs\": {disabled_allocs}\n}}\n",
+        "{{\n  \"bench\": \"trace_overhead\",\n  \"host_simd_isa\": \"{}\",\n  \"compiled_simd_isa\": \"{}\",\n  \"tree_level\": {level},\n  \"steps\": {steps},\n  \"reps\": {reps},\n  \"off_seconds\": {off:.6},\n  \"on_seconds\": {on:.6},\n  \"overhead_pct\": {overhead_pct:.3},\n  \"sampler_seconds\": {sampled:.6},\n  \"sampler_overhead_pct\": {sampler_overhead_pct:.3},\n  \"sampler_interval_ms\": 10,\n  \"counter_samples\": {samples},\n  \"dist_off_seconds\": {dist_off:.6},\n  \"dist_on_seconds\": {dist_on:.6},\n  \"dist_overhead_pct\": {dist_overhead_pct:.3},\n  \"dist_parcels\": {parcels},\n  \"budget_pct\": 3.0,\n  \"events_recorded\": {events},\n  \"disabled_tracer_allocs\": {disabled_allocs}\n}}\n",
         octotiger::kernel_backend::host_simd_isa(),
         octotiger::kernel_backend::compiled_simd_isa()
     );

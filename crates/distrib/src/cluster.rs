@@ -39,7 +39,7 @@ use crate::coalesce::{CoalesceConfig, Coalescer};
 use crate::frame;
 use crate::parcel::ParcelMsg;
 use crate::parcelport::{self, Deliver};
-use crate::stats::{NetSnapshot, NetStats, PortSnapshot};
+use crate::stats::{CommMetrics, NetSnapshot, NetStats, PortSnapshot};
 use crate::wire;
 
 /// Cluster construction parameters (the paper's cluster: 2 localities ×
@@ -110,10 +110,11 @@ impl ClusterInner {
         )
     }
 
-    /// Serialize one parcel and hand it to the comms stack.
-    fn send(&self, to: LocalityId, msg: &ParcelMsg) {
+    /// Serialize one parcel and hand it to the comms stack. `from` is the
+    /// sending locality — it becomes the parcel's trace-context origin.
+    fn send(&self, from: LocalityId, to: LocalityId, msg: &ParcelMsg) {
         let parcel = msg.to_wire().expect("parcel serialization failed");
-        self.coalescer.submit(to, parcel);
+        self.coalescer.submit(from, to, parcel);
     }
 }
 
@@ -213,6 +214,7 @@ impl LocalityHandle {
         let (promise, raw) = amt::future_pair::<Result<Bytes, String>>();
         self.inner.pending.lock().insert(call_id, promise);
         cluster.send(
+            self.inner.id,
             target,
             &ParcelMsg::Request {
                 from: self.inner.id,
@@ -273,6 +275,7 @@ fn dispatch(
                 runtime: runtime.clone(),
             };
             let cluster_for_task = cluster.clone();
+            let my_id = me.id;
             runtime.spawn_detached(move || {
                 let result = match handler {
                     Some(h) => {
@@ -286,7 +289,7 @@ fn dispatch(
                     None => Err(format!("action {action:?} is not registered")),
                 };
                 if let Some(c) = cluster_for_task.upgrade() {
-                    c.send(from, &ParcelMsg::Response { call_id, result });
+                    c.send(my_id, from, &ParcelMsg::Response { call_id, result });
                 }
             });
         }
@@ -300,20 +303,34 @@ fn dispatch(
 }
 
 /// One locality's receive loop: frames in, parcels dispatched. Ends when
-/// the switchboard drops this locality's sender.
+/// the switchboard drops this locality's sender. Each parcel closes its
+/// causal-tracing loop here: a `parcel_recv` span encloses the `"f"` flow
+/// event matching the sender's `"s"`, the one-way latency (receive minus
+/// the submit stamp in the wire header) lands in the
+/// `/comms/parcel_latency` histogram, and the `origin → me` link counters
+/// advance. The histogram and link metrics stay on with tracing off —
+/// they are counters, not spans.
 fn rx_loop(
     rx: Receiver<Bytes>,
     cluster: Weak<ClusterInner>,
     me: Weak<LocalityInner>,
     runtime: amt::Handle,
+    metrics: Arc<CommMetrics>,
 ) {
+    use apex_lite::trace::{self, Cat};
     while let Ok(framed) = rx.recv() {
         let Some(me_arc) = me.upgrade() else {
             break;
         };
-        let bodies = frame::decode_frame(&framed).expect("corrupt frame on parcel channel");
-        for body in bodies {
-            let msg = ParcelMsg::from_wire(&body).expect("corrupt parcel in frame");
+        let parcels = frame::decode_frame(&framed).expect("corrupt frame on parcel channel");
+        for parcel in parcels {
+            let _span = trace::span(Cat::Comm, "parcel_recv");
+            trace::flow_end(Cat::Comm, "parcel", parcel.ctx.flow);
+            metrics
+                .parcel_latency
+                .record(trace::now_ns().saturating_sub(parcel.ctx.send_ns));
+            metrics.record_link(parcel.ctx.origin, me_arc.id.0, parcel.body.len() as u64);
+            let msg = ParcelMsg::from_wire(&parcel.body).expect("corrupt parcel in frame");
             dispatch(msg, &cluster, &me_arc, &runtime);
         }
     }
@@ -371,6 +388,7 @@ impl Cluster {
             let weak_cluster = Arc::downgrade(&inner);
             let weak_loc = Arc::downgrade(&loc);
             let handle = inner.runtimes[i as usize].handle();
+            let metrics = Arc::clone(inner.coalescer.metrics());
             let join = std::thread::Builder::new()
                 .name(format!("parcel-rx-{i}"))
                 .spawn(move || {
@@ -378,7 +396,7 @@ impl Cluster {
                         i,
                         apex_lite::trace::ThreadLabel::Named("parcel-rx"),
                     );
-                    rx_loop(rx, weak_cluster, weak_loc, handle)
+                    rx_loop(rx, weak_cluster, weak_loc, handle, metrics)
                 })
                 .expect("failed to spawn parcel receive thread");
             inner.switchboard.lock().push(tx);
@@ -494,6 +512,10 @@ impl Cluster {
             c.gauge("imbalance", amt::imbalance(&all));
         });
         let weak = Arc::downgrade(&self.inner);
+        // The comm metrics outlive the cluster via their own Arc (they do
+        // not keep runtimes or receive loops alive), so the histograms
+        // stay sampleable through the final post-run snapshot.
+        let metrics = Arc::clone(self.inner.coalescer.metrics());
         registry.register("/comms", move |c| {
             let Some(inner) = weak.upgrade() else { return };
             let port = inner.coalescer.port().stats();
@@ -506,6 +528,18 @@ impl Cluster {
             let actions = inner.stats.snapshot();
             c.count("remote_actions", actions.remote_actions);
             c.count("local_actions", actions.local_actions);
+            c.histogram("parcel_latency", &metrics.parcel_latency.snapshot());
+            c.histogram(
+                "coalesce_flush_delay",
+                &metrics.coalesce_flush_delay.snapshot(),
+            );
+            for link in metrics.links() {
+                c.count(
+                    &format!("link{}_{}/parcels", link.src, link.dst),
+                    link.parcels,
+                );
+                c.count(&format!("link{}_{}/bytes", link.src, link.dst), link.bytes);
+            }
         });
     }
 
@@ -759,6 +793,36 @@ mod tests {
         let s = c.net_stats();
         assert_eq!(s.messages, 2, "request + response");
         assert_eq!(s.remote_actions, 1);
+    }
+
+    #[test]
+    fn comm_metrics_surface_latency_histogram_and_links() {
+        let c = two_node();
+        c.register_action("get", |ctx: &LocalityHandle, gid, (): ()| {
+            ctx.with_component::<u64, _>(gid, |v| *v).unwrap()
+        });
+        let l0 = c.locality(0);
+        let l1 = c.locality(1);
+        let gid = l1.new_component(9u64);
+        for _ in 0..5 {
+            let _: u64 = l0.invoke(gid, "get", &()).get();
+        }
+        c.flush_network();
+        let mut reg = apex_lite::CounterRegistry::new();
+        c.register_counters(&mut reg);
+        let snap = reg.sample();
+        let h = snap
+            .histogram("/comms/parcel_latency")
+            .expect("latency histogram registered");
+        // Every received parcel recorded exactly one latency observation.
+        assert_eq!(h.count(), snap.count("/comms/parcels"));
+        assert_eq!(h.count(), 10, "5 requests + 5 responses");
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+        // Both directed links carried traffic: requests 0→1, responses 1→0.
+        assert_eq!(snap.count("/comms/link0_1/parcels"), 5);
+        assert_eq!(snap.count("/comms/link1_0/parcels"), 5);
+        assert!(snap.count("/comms/link0_1/bytes") > 0);
     }
 
     #[test]

@@ -33,8 +33,9 @@ use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
 use crate::agas::LocalityId;
-use crate::frame;
+use crate::frame::{self, TraceCtx};
 use crate::parcelport::Parcelport;
+use crate::stats::CommMetrics;
 
 /// Coalescing-layer knobs (part of `ClusterConfig`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,13 +77,15 @@ impl CoalesceConfig {
 }
 
 struct DestQueue {
-    parcels: Vec<Bytes>,
+    parcels: Vec<(Bytes, TraceCtx)>,
     bytes: usize,
 }
 
 struct CoalesceShared {
     config: CoalesceConfig,
     port: Arc<dyn Parcelport>,
+    /// Flush-delay histogram + link matrices shared with the cluster.
+    metrics: Arc<CommMetrics>,
     /// One pending queue per destination locality.
     queues: Vec<Mutex<DestQueue>>,
     /// Parcels across all queues (backpressure accounting).
@@ -106,8 +109,16 @@ impl CoalesceShared {
             std::mem::take(&mut q.parcels)
         };
         self.pending.fetch_sub(parcels.len(), Ordering::AcqRel);
+        // How long each parcel sat queued before its batch left — the
+        // coalescing latency tax the flush deadline bounds.
+        let now = trace::now_ns();
+        for (_, ctx) in &parcels {
+            self.metrics
+                .coalesce_flush_delay
+                .record(now.saturating_sub(ctx.send_ns));
+        }
         let frame = if parcels.len() == 1 {
-            frame::encode_single(&parcels[0])
+            frame::encode_single(&parcels[0].0, parcels[0].1)
         } else {
             frame::encode_batch(&parcels)
         };
@@ -135,6 +146,7 @@ impl Coalescer {
         let shared = Arc::new(CoalesceShared {
             config,
             port,
+            metrics: Arc::new(CommMetrics::new(localities)),
             queues: (0..localities)
                 .map(|_| {
                     Mutex::new(DestQueue {
@@ -163,18 +175,30 @@ impl Coalescer {
         &self.shared.port
     }
 
-    /// Submit one wire-encoded parcel for `to`.
-    pub fn submit(&self, to: LocalityId, parcel: Bytes) {
+    /// The comms metrics this layer records into (flush-delay histogram;
+    /// the cluster's receive side shares the same instance for latency
+    /// and link accounting).
+    pub fn metrics(&self) -> &Arc<CommMetrics> {
+        &self.shared.metrics
+    }
+
+    /// Submit one wire-encoded parcel from `from` for `to`, stamping its
+    /// causal-tracing context (origin, flow id, send timestamp) at submit
+    /// time — so the receive-side latency includes any coalescer queueing.
+    pub fn submit(&self, from: LocalityId, to: LocalityId, parcel: Bytes) {
+        let ctx = TraceCtx::stamp(from.0);
         let cfg = &self.shared.config;
         if !cfg.enabled {
-            self.shared.port.transmit(to, frame::encode_single(&parcel));
+            self.shared
+                .port
+                .transmit(to, frame::encode_single(&parcel, ctx));
             return;
         }
         let dest = to.0 as usize;
         let (flush_now, depth) = {
             let mut q = self.shared.queues[dest].lock();
             q.bytes += parcel.len();
-            q.parcels.push(parcel);
+            q.parcels.push((parcel, ctx));
             let pending = self.shared.pending.fetch_add(1, Ordering::AcqRel) + 1;
             (
                 q.parcels.len() >= cfg.max_batch_parcels
@@ -241,7 +265,7 @@ mod tests {
         let (port, frames) = counting_port();
         let co = Coalescer::new(CoalesceConfig::default(), 2, Arc::clone(&port));
         for p in parcels(10, 8) {
-            co.submit(LocalityId(1), p);
+            co.submit(LocalityId(0), LocalityId(1), p);
         }
         assert_eq!(frames.lock().len(), 10, "one frame per parcel");
         let s = port.stats();
@@ -262,7 +286,7 @@ mod tests {
         };
         let co = Coalescer::new(cfg, 2, Arc::clone(&port));
         for p in parcels(32, 16) {
-            co.submit(LocalityId(0), p);
+            co.submit(LocalityId(0), LocalityId(0), p);
         }
         co.flush();
         assert_eq!(frames.lock().len(), 4, "32 parcels / 8 per batch");
@@ -278,6 +302,29 @@ mod tests {
     }
 
     #[test]
+    fn flush_delay_histogram_counts_every_queued_parcel() {
+        let (port, _frames) = counting_port();
+        let cfg = CoalesceConfig {
+            enabled: true,
+            max_batch_parcels: 8,
+            flush_deadline: Duration::from_secs(3600),
+            ..Default::default()
+        };
+        let co = Coalescer::new(cfg, 2, Arc::clone(&port));
+        for p in parcels(12, 16) {
+            co.submit(LocalityId(0), LocalityId(1), p);
+        }
+        co.flush();
+        let h = co.metrics().coalesce_flush_delay.snapshot();
+        assert_eq!(h.count(), 12, "every queued parcel records a delay");
+        // Pass-through (disabled) submission records no flush delay.
+        let (port2, _f2) = counting_port();
+        let co2 = Coalescer::new(CoalesceConfig::default(), 2, port2);
+        co2.submit(LocalityId(0), LocalityId(1), Bytes::from(&b"x"[..]));
+        assert_eq!(co2.metrics().coalesce_flush_delay.snapshot().count(), 0);
+    }
+
+    #[test]
     fn byte_bound_closes_batches_early() {
         let (port, _frames) = counting_port();
         let cfg = CoalesceConfig {
@@ -289,7 +336,7 @@ mod tests {
         };
         let co = Coalescer::new(cfg, 1, Arc::clone(&port));
         for p in parcels(10, 60) {
-            co.submit(LocalityId(0), p);
+            co.submit(LocalityId(0), LocalityId(0), p);
         }
         co.flush();
         let s = port.stats();
@@ -312,7 +359,7 @@ mod tests {
         };
         let co = Coalescer::new(cfg, 1, Arc::clone(&port));
         for p in parcels(64, 1) {
-            co.submit(LocalityId(0), p);
+            co.submit(LocalityId(0), LocalityId(0), p);
         }
         co.flush();
         let s = port.stats();
@@ -334,7 +381,7 @@ mod tests {
             ..CoalesceConfig::enabled()
         };
         let co = Coalescer::new(cfg, 1, Arc::clone(&port));
-        co.submit(LocalityId(0), Bytes::from(&b"lonely"[..]));
+        co.submit(LocalityId(0), LocalityId(0), Bytes::from(&b"lonely"[..]));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while port.stats().messages == 0 {
             assert!(
@@ -356,7 +403,11 @@ mod tests {
         };
         {
             let co = Coalescer::new(cfg, 2, Arc::clone(&port));
-            co.submit(LocalityId(1), Bytes::from(&b"last words"[..]));
+            co.submit(
+                LocalityId(0),
+                LocalityId(1),
+                Bytes::from(&b"last words"[..]),
+            );
         }
         assert_eq!(frames.lock().len(), 1, "drop must not strand parcels");
     }
@@ -375,7 +426,7 @@ mod tests {
         };
         let co = Coalescer::new(cfg, 1, Arc::clone(&port));
         for p in parcels(4, 3) {
-            co.submit(LocalityId(0), p);
+            co.submit(LocalityId(0), LocalityId(0), p);
         }
         // Batch closed at 4 parcels and was handed to the port, but the
         // LCI outbox holds it until progress runs.

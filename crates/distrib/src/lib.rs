@@ -34,8 +34,10 @@ pub mod wire;
 pub use agas::{Agas, Gid, LocalityId};
 pub use cluster::{Cluster, ClusterConfig, LocalityHandle};
 pub use coalesce::{CoalesceConfig, Coalescer};
-pub use frame::{FrameDecoder, FrameError};
+pub use frame::{DecodedParcel, FrameDecoder, FrameError, TraceCtx, TRACE_CTX_BYTES};
 pub use parcel::ParcelMsg;
 pub use parcelport::{Deliver, Parcelport};
-pub use stats::{NetSnapshot, NetStats, PortSnapshot, PortStats, PARCEL_HEADER_BYTES};
+pub use stats::{
+    CommMetrics, LinkSnapshot, NetSnapshot, NetStats, PortSnapshot, PortStats, PARCEL_HEADER_BYTES,
+};
 pub use wire::{from_bytes, to_bytes, WireError};

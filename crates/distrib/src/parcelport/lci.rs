@@ -58,6 +58,12 @@ impl LciShared {
             };
             match next {
                 Some((to, frame)) => {
+                    // The explicit-progress port's real send moment is the
+                    // drain, not the transmit — flows start here so the
+                    // network leg excludes outbox dwell only when the
+                    // latency histogram (stamped at submit) includes it.
+                    let _span = trace::span(Cat::Comm, "parcel_send");
+                    super::note_parcel_send(&frame);
                     self.stats.record_frame(
                         frame.len() as u64,
                         crate::frame::decode_parcel_count(&frame),

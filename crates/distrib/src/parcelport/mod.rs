@@ -51,6 +51,20 @@ use crate::stats::PortSnapshot;
 /// loop. Implementations must tolerate dead destinations (drop the frame).
 pub type Deliver = Arc<dyn Fn(LocalityId, Bytes) + Send + Sync>;
 
+/// Emit one `"s"` flow event per parcel in `frame`, pairing with the
+/// receive side's `"f"` so Perfetto draws a cross-locality arrow out of
+/// the enclosing `parcel_send` span. No-op (and no header walk) when
+/// tracing is off; raw non-framed test buffers yield no contexts and are
+/// silently skipped.
+pub(crate) fn note_parcel_send(frame: &[u8]) {
+    if !apex_lite::trace::enabled() {
+        return;
+    }
+    for ctx in crate::frame::trace_ctxs(frame) {
+        apex_lite::trace::flow_start(apex_lite::trace::Cat::Comm, "parcel", ctx.flow);
+    }
+}
+
 /// One communication backend instance (see module docs for the contract).
 pub trait Parcelport: Send + Sync {
     /// Which backend this port implements.

@@ -49,7 +49,8 @@ impl Parcelport for MpiParcelport {
     }
 
     fn transmit(&self, to: LocalityId, frame: Bytes) {
-        let _span = trace::span(Cat::Comm, "transmit");
+        let _span = trace::span(Cat::Comm, "parcel_send");
+        super::note_parcel_send(&frame);
         self.stats.record_frame(
             frame.len() as u64,
             crate::frame::decode_parcel_count(&frame),

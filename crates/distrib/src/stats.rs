@@ -15,9 +15,101 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use apex_lite::counters::AtomicHistogram;
+
 /// Framing overhead charged per parcel (gid, action id, call id, lengths) —
 /// roughly HPX's parcel header.
 pub const PARCEL_HEADER_BYTES: u64 = 48;
+
+#[derive(Debug, Default)]
+struct LinkStats {
+    parcels: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// One directed locality link's traffic, as reported by
+/// [`CommMetrics::links`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Sending locality.
+    pub src: u32,
+    /// Receiving locality.
+    pub dst: u32,
+    /// Parcels received over this link.
+    pub parcels: u64,
+    /// Payload bytes received over this link.
+    pub bytes: u64,
+}
+
+/// Comms-level causal-tracing metrics: per-link parcel/byte matrices and
+/// the latency histograms behind `/comms/parcel_latency` and
+/// `/comms/coalesce_flush_delay`. One per cluster, shared by the
+/// coalescer (flush-delay side) and every locality's receive loop
+/// (latency + link side). All recording is lock-free relaxed atomics, so
+/// it stays on even when tracing is off — these are counters, not spans.
+#[derive(Debug)]
+pub struct CommMetrics {
+    localities: u32,
+    /// Row-major `src * localities + dst` directed-link matrix.
+    links: Vec<LinkStats>,
+    /// One-way parcel latency (submit stamp → receive), ns.
+    pub parcel_latency: AtomicHistogram,
+    /// Time a parcel waited in a coalescer queue before its batch left, ns.
+    pub coalesce_flush_delay: AtomicHistogram,
+}
+
+impl CommMetrics {
+    /// Fresh metrics for a cluster of `localities`.
+    pub fn new(localities: u32) -> Self {
+        CommMetrics {
+            localities,
+            links: (0..localities as usize * localities as usize)
+                .map(|_| LinkStats::default())
+                .collect(),
+            parcel_latency: AtomicHistogram::new(),
+            coalesce_flush_delay: AtomicHistogram::new(),
+        }
+    }
+
+    /// Number of localities the link matrix covers.
+    pub fn localities(&self) -> u32 {
+        self.localities
+    }
+
+    /// Record one received parcel of `payload_bytes` on the `src → dst`
+    /// link. Out-of-range localities are ignored (a desynchronized header
+    /// must not panic the receive loop).
+    pub fn record_link(&self, src: u32, dst: u32, payload_bytes: u64) {
+        if src >= self.localities || dst >= self.localities {
+            return;
+        }
+        let link = &self.links[src as usize * self.localities as usize + dst as usize];
+        link.parcels.fetch_add(1, Ordering::Relaxed);
+        link.bytes.fetch_add(payload_bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot every link that carried traffic, `(src, dst)` ordered.
+    pub fn links(&self) -> Vec<LinkSnapshot> {
+        let n = self.localities as usize;
+        let mut out = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                let link = &self.links[src * n + dst];
+                let parcels = link.parcels.load(Ordering::Relaxed);
+                let bytes = link.bytes.load(Ordering::Relaxed);
+                if parcels > 0 {
+                    out.push(LinkSnapshot {
+                        src: src as u32,
+                        dst: dst as u32,
+                        parcels,
+                        bytes,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
 
 /// Thread-safe communication counters for one cluster.
 #[derive(Debug, Default)]
@@ -246,6 +338,31 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.remote_actions, 1);
         assert_eq!(snap.local_actions, 2);
+    }
+
+    #[test]
+    fn comm_metrics_track_links_and_latency_histograms() {
+        let m = CommMetrics::new(2);
+        m.record_link(0, 1, 100);
+        m.record_link(0, 1, 50);
+        m.record_link(1, 0, 7);
+        m.record_link(5, 0, 999); // out of range: ignored, no panic
+        let links = m.links();
+        assert_eq!(links.len(), 2, "only links with traffic are reported");
+        assert_eq!(
+            links[0],
+            LinkSnapshot {
+                src: 0,
+                dst: 1,
+                parcels: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(links[1].parcels, 1);
+        m.parcel_latency.record(1000);
+        m.parcel_latency.record(2000);
+        assert_eq!(m.parcel_latency.snapshot().count(), 2);
+        assert_eq!(m.coalesce_flush_delay.snapshot().count(), 0);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! Property tests for the full parcel wire path: serialize → frame →
 //! (split) deframe → deserialize, over arbitrary parcels, arbitrary
-//! single/batch frame mixes, and arbitrary stream chunking — the invariant
-//! every parcelport relies on.
+//! single/batch frame mixes, arbitrary trace contexts, and arbitrary
+//! stream chunking — the invariant every parcelport relies on.
 
 use bytes::Bytes;
-use distrib::frame::{encode_batch, encode_single, FrameDecoder};
+use distrib::frame::{encode_batch, encode_single, DecodedParcel, FrameDecoder, TraceCtx};
 use distrib::{Agas, LocalityId, ParcelMsg};
 use proptest::prelude::*;
 
@@ -43,10 +43,19 @@ fn arb_parcel() -> impl Strategy<Value = ParcelMsg> {
     prop_oneof![request, response]
 }
 
+/// Arbitrary wire trace contexts — any bit pattern must round-trip.
+fn arb_ctx() -> impl Strategy<Value = TraceCtx> {
+    (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(origin, flow, send_ns)| TraceCtx {
+        origin,
+        flow,
+        send_ns,
+    })
+}
+
 /// Feed `stream` to a fresh decoder, split at the (deduplicated, sorted)
-/// cut points, and return every parcel body it yields. Checks the decoder
+/// cut points, and return every parcel it yields. Checks the decoder
 /// ends cleanly at a frame boundary.
-fn feed_split(stream: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+fn feed_split(stream: &[u8], cuts: &[usize]) -> Vec<DecodedParcel> {
     let mut idx: Vec<usize> = cuts.iter().map(|c| c % (stream.len() + 1)).collect();
     idx.sort_unstable();
     let mut dec = FrameDecoder::new();
@@ -71,39 +80,45 @@ proptest! {
         prop_assert_eq!(ParcelMsg::from_wire(&bytes).unwrap(), p);
     }
 
-    /// A stream of single-parcel frames survives arbitrary chunk splits.
+    /// A stream of single-parcel frames survives arbitrary chunk splits,
+    /// parcel and trace context both intact.
     #[test]
     fn single_frames_roundtrip_under_any_split(
-        parcels in proptest::collection::vec(arb_parcel(), 1..8),
+        parcels in proptest::collection::vec((arb_parcel(), arb_ctx()), 1..8),
         cuts in proptest::collection::vec(any::<usize>(), 0..12),
     ) {
         let mut stream = Vec::new();
-        for p in &parcels {
-            stream.extend_from_slice(&encode_single(&p.to_wire().unwrap()));
+        for (p, ctx) in &parcels {
+            stream.extend_from_slice(&encode_single(&p.to_wire().unwrap(), *ctx));
         }
-        let bodies = feed_split(&stream, &cuts);
-        prop_assert_eq!(bodies.len(), parcels.len());
-        for (body, p) in bodies.iter().zip(&parcels) {
-            prop_assert_eq!(&ParcelMsg::from_wire(body).unwrap(), p);
+        let decoded = feed_split(&stream, &cuts);
+        prop_assert_eq!(decoded.len(), parcels.len());
+        for (d, (p, ctx)) in decoded.iter().zip(&parcels) {
+            prop_assert_eq!(&ParcelMsg::from_wire(&d.body).unwrap(), p);
+            prop_assert_eq!(&d.ctx, ctx);
         }
     }
 
     /// One coalesced batch frame survives byte-at-a-time delivery.
     #[test]
     fn batch_frame_roundtrips_byte_at_a_time(
-        parcels in proptest::collection::vec(arb_parcel(), 1..10),
+        parcels in proptest::collection::vec((arb_parcel(), arb_ctx()), 1..10),
     ) {
-        let wires: Vec<Bytes> = parcels.iter().map(|p| p.to_wire().unwrap()).collect();
+        let wires: Vec<(Bytes, TraceCtx)> = parcels
+            .iter()
+            .map(|(p, ctx)| (p.to_wire().unwrap(), *ctx))
+            .collect();
         let frame = encode_batch(&wires);
         let mut dec = FrameDecoder::new();
-        let mut bodies = Vec::new();
+        let mut decoded = Vec::new();
         for b in frame.iter() {
-            bodies.extend(dec.feed(&[*b]).unwrap());
+            decoded.extend(dec.feed(&[*b]).unwrap());
         }
         prop_assert!(dec.is_clean());
-        prop_assert_eq!(bodies.len(), parcels.len());
-        for (body, p) in bodies.iter().zip(&parcels) {
-            prop_assert_eq!(&ParcelMsg::from_wire(body).unwrap(), p);
+        prop_assert_eq!(decoded.len(), parcels.len());
+        for (d, (p, ctx)) in decoded.iter().zip(&parcels) {
+            prop_assert_eq!(&ParcelMsg::from_wire(&d.body).unwrap(), p);
+            prop_assert_eq!(&d.ctx, ctx);
         }
     }
 
@@ -112,28 +127,30 @@ proptest! {
     #[test]
     fn mixed_frame_stream_preserves_order(
         groups in proptest::collection::vec(
-            proptest::collection::vec(arb_parcel(), 1..5), 1..5),
+            proptest::collection::vec((arb_parcel(), arb_ctx()), 1..5), 1..5),
         cuts in proptest::collection::vec(any::<usize>(), 0..16),
     ) {
         let mut stream = Vec::new();
         let mut expected = Vec::new();
         for group in &groups {
-            let wires: Vec<Bytes> =
-                group.iter().map(|p| p.to_wire().unwrap()).collect();
+            let wires: Vec<(Bytes, TraceCtx)> = group
+                .iter()
+                .map(|(p, ctx)| (p.to_wire().unwrap(), *ctx))
+                .collect();
             // The coalescer frames a lone survivor as a single, a fuller
             // queue as a batch: mirror that here.
             if wires.len() == 1 {
-                stream.extend_from_slice(&encode_single(&wires[0]));
+                stream.extend_from_slice(&encode_single(&wires[0].0, wires[0].1));
             } else {
                 stream.extend_from_slice(&encode_batch(&wires));
             }
             expected.extend(group.iter().cloned());
         }
-        let bodies = feed_split(&stream, &cuts);
-        let decoded: Vec<ParcelMsg> = bodies
+        let decoded = feed_split(&stream, &cuts);
+        let out: Vec<(ParcelMsg, TraceCtx)> = decoded
             .iter()
-            .map(|b| ParcelMsg::from_wire(b).unwrap())
+            .map(|d| (ParcelMsg::from_wire(&d.body).unwrap(), d.ctx))
             .collect();
-        prop_assert_eq!(decoded, expected);
+        prop_assert_eq!(out, expected);
     }
 }

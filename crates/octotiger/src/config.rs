@@ -77,6 +77,11 @@ pub struct OctoConfig {
     /// Off = the barriered ablation (the seed's step structure). Both modes
     /// produce bitwise-identical states.
     pub futurize: bool,
+    /// Batch small parcels per destination before transmitting
+    /// (`--coalesce=on`): HPX's parcel-coalescing plugin. Off (the
+    /// default) sends every parcel as its own frame, matching the paper's
+    /// two-board runs.
+    pub coalesce: bool,
     /// Write a Chrome trace-event JSON of the run to this path
     /// (`--trace-out=trace.json`, loadable in `about://tracing`/Perfetto).
     /// `None` (the default) leaves tracing disabled — zero-cost.
@@ -118,6 +123,7 @@ impl Default for OctoConfig {
             simd_width: 4,
             use_interaction_cache: true,
             futurize: true,
+            coalesce: false,
             trace_out: None,
             counter_table: false,
             sample_interval_ms: None,
@@ -201,6 +207,15 @@ impl OctoConfig {
                         "off" | "0" | "false" => false,
                         other => {
                             return Err(format!("invalid value {other:?} for --futurize (on/off)"))
+                        }
+                    }
+                }
+                "coalesce" => {
+                    cfg.coalesce = match value {
+                        "on" | "1" | "true" => true,
+                        "off" | "0" | "false" => false,
+                        other => {
+                            return Err(format!("invalid value {other:?} for --coalesce (on/off)"))
                         }
                     }
                 }
@@ -348,6 +363,7 @@ mod tests {
         assert!(OctoConfig::from_args(["--simd_kernel_width=3"]).is_err());
         assert!(OctoConfig::from_args(["--interaction_list_cache=maybe"]).is_err());
         assert!(OctoConfig::from_args(["--futurize=maybe"]).is_err());
+        assert!(OctoConfig::from_args(["--coalesce=maybe"]).is_err());
         assert!(OctoConfig::from_args(["--monopole_host_tasks=0"]).is_err());
         assert!(OctoConfig::from_args(["--hydro_host_tasks=x"]).is_err());
         assert!(OctoConfig::from_args(["--regrid_host_tasks=0"]).is_err());
@@ -390,6 +406,16 @@ mod tests {
         );
         assert!(!OctoConfig::from_args(["--futurize=off"]).unwrap().futurize);
         assert!(OctoConfig::from_args(["--futurize=on"]).unwrap().futurize);
+    }
+
+    #[test]
+    fn parses_coalesce_flag() {
+        assert!(
+            !OctoConfig::default().coalesce,
+            "coalescing is off by default, matching the paper's runs"
+        );
+        assert!(OctoConfig::from_args(["--coalesce=on"]).unwrap().coalesce);
+        assert!(!OctoConfig::from_args(["--coalesce=off"]).unwrap().coalesce);
     }
 
     #[test]

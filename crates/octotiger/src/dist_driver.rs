@@ -71,13 +71,18 @@ impl DistConfig {
     }
 
     /// Distributed configuration derived from a parsed [`OctoConfig`]: the
-    /// backend follows `--hpx:parcelport`, the thread count `--hpx:threads`.
+    /// backend follows `--hpx:parcelport`, the thread count `--hpx:threads`,
+    /// and the coalescing layer `--coalesce`.
     pub fn from_octo(nodes: u32, octo: OctoConfig) -> Self {
         DistConfig {
             nodes,
             threads_per_node: octo.threads,
             backend: octo.parcelport,
-            coalesce: CoalesceConfig::default(),
+            coalesce: if octo.coalesce {
+                CoalesceConfig::enabled()
+            } else {
+                CoalesceConfig::default()
+            },
             octo,
         }
     }
@@ -603,6 +608,11 @@ impl DistRun {
             trace::reset();
             trace::set_enabled(true);
         }
+        // The supervising thread gets its own Chrome lane, distinct from
+        // every locality pid: its phase envelopes span whole remote
+        // exchanges, and folding them into locality 0's lane would hide
+        // the wire legs from the distributed critical-path analysis.
+        trace::set_thread_label(config.nodes, trace::ThreadLabel::Named("driver"));
         let mut registry = CounterRegistry::new();
         cluster.register_counters(&mut registry);
         let registry = std::sync::Arc::new(registry);
@@ -872,6 +882,9 @@ mod tests {
         let cfg = DistConfig::from_octo(2, octo);
         assert_eq!(cfg.backend, NetBackend::Lci);
         assert_eq!(cfg.threads_per_node, 2);
+        assert!(!cfg.coalesce.enabled, "coalescing stays off unless asked");
+        let octo = OctoConfig::from_args(["--coalesce=on"]).unwrap();
+        assert!(DistConfig::from_octo(2, octo).coalesce.enabled);
     }
 
     #[test]

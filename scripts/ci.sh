@@ -39,19 +39,25 @@ echo "== bench-regression gate (self-test + committed baselines) =="
 cargo run --release -p repro-bench --bin bench_diff -- --self-test
 BENCH_SMOKE=1 cargo run --release -p repro-bench --bin bench_diff
 
-echo "== trace smoke run + checker + analyzer =="
+echo "== trace smoke run + checker + analyzer (coalesced, flow events) =="
 TRACE_OUT=$(mktemp -t apexlite_ci_XXXXXX.json)
 FLAME_OUT=$(mktemp -t apexlite_flame_XXXXXX.txt)
 cargo run --release --example distributed_cluster -- \
   --max_level=1 --stop_step=2 --hpx:threads=2 --sample_interval_ms=5 \
-  --trace-out="$TRACE_OUT" >/dev/null
+  --coalesce=on --trace-out="$TRACE_OUT" >/dev/null
+# --require-flow: the 2-locality run must pair every received parcel's
+# "f" flow event with its sender's "s" (the Perfetto arrows exist).
 cargo run --release -p apex-lite --bin trace_check -- \
-  --require task,phase,comm --min-spans 10 "$TRACE_OUT"
+  --require task,phase,comm --min-spans 10 --require-flow "$TRACE_OUT"
 # trace_report --check: non-empty critical path within the wall window,
-# utilization rows, the cluster-wide imbalance series, a non-empty
-# flamegraph.
+# utilization rows, the cluster-wide imbalance + parcel-latency series,
+# a non-empty flamegraph, and (on a multi-locality trace with flows) a
+# distributed critical path that routes through >= 1 network leg, bounds
+# every single-locality path, and carries ordered latency percentiles
+# with histogram count == parcels delivered.
 cargo run --release -p apex-lite --bin trace_report -- \
-  --check --require-counter=/runtime/imbalance --flame-out="$FLAME_OUT" \
+  --check --require-counter=/runtime/imbalance \
+  --require-counter=/comms/parcel_latency --flame-out="$FLAME_OUT" \
   "$TRACE_OUT"
 test -s "$FLAME_OUT"
 rm -f "$TRACE_OUT" "$FLAME_OUT"

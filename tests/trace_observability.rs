@@ -224,8 +224,14 @@ fn two_node_trace_merges_locality_prefixed_pids() {
         summary.pids
     );
     assert!(text.contains("locality0") && text.contains("locality1"));
-    // Real wire traffic shows up as transmit events.
-    assert!(summary.count_name("transmit") > 0);
+    // Real wire traffic shows up as parcel_send spans with matching flow
+    // events on the receiving locality.
+    assert!(summary.count_name("parcel_send") > 0);
+    assert!(summary.count_name("parcel_recv") > 0);
+    assert!(
+        !summary.flow_edges.is_empty(),
+        "wire traffic produced no matched flow pairs"
+    );
     // The HWM-step satellite: the queue-depth high-water mark carries the
     // step index it occurred at (within the executed step range).
     assert!(metrics.port.queue_depth_hwm_step < u64::from(metrics.steps).max(1));
@@ -372,6 +378,92 @@ fn sampler_records_counter_series_into_csv_and_trace() {
         series.windows(2).all(|w| w[0].0 <= w[1].0),
         "sampler timestamps not monotone"
     );
+}
+
+#[test]
+fn coalesced_two_node_run_routes_critical_path_through_network_legs() {
+    let _g = lock();
+    let path = tmp_trace("dist_flows");
+    let mut octo = tiny_config();
+    octo.stop_step = 2;
+    octo.coalesce = true;
+    octo.sample_interval_ms = Some(1);
+    octo.trace_out = Some(path.to_string_lossy().into_owned());
+    let cfg = DistConfig::from_octo(2, octo);
+    assert!(cfg.coalesce.enabled, "--coalesce=on must reach the cluster");
+    let metrics = DistRun::execute(cfg);
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let summary = validate(&text).expect("trace with flow events must validate");
+    let _ = std::fs::remove_file(&path);
+
+    // Every received parcel pairs its sender's "s" with its receiver's
+    // "f" — the Perfetto arrows exist and cross locality pids.
+    assert!(!summary.flow_edges.is_empty(), "no matched flow pairs");
+    assert!(
+        summary.flow_edges.iter().any(|e| e.src_pid != e.dst_pid),
+        "no flow crosses a locality boundary"
+    );
+
+    // The ISSUE's acceptance bundle on the distributed critical path.
+    let phases = apex_lite::default_phases(&summary);
+    let d = apex_lite::critical_path_distributed(&summary, &phases);
+    assert!(
+        d.network_edges_on_path >= 1,
+        "critical path crosses no network leg ({} flow edges)",
+        summary.flow_edges.len()
+    );
+    assert!(d.network_ns > 0, "network legs contribute no path time");
+    assert!(
+        d.path.path_ns <= d.path.wall_ns,
+        "distributed path {} ns exceeds wall {} ns",
+        d.path.path_ns,
+        d.path.wall_ns
+    );
+    for (pid, &per) in &d.per_locality_path_ns {
+        assert!(
+            d.path.path_ns >= per,
+            "distributed path {} ns under locality {pid}'s own path {per} ns",
+            d.path.path_ns
+        );
+    }
+
+    // Latency histogram: exactly one observation per delivered parcel,
+    // with ordered percentiles; the coalescer's flush-delay histogram saw
+    // every queued parcel too.
+    let h = metrics
+        .counters
+        .histogram("/comms/parcel_latency")
+        .expect("parcel latency histogram in final counters");
+    assert_eq!(
+        h.count(),
+        metrics.port.parcels,
+        "one observation per parcel"
+    );
+    let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+    assert!(p50 <= p95 && p95 <= p99, "{p50} / {p95} / {p99}");
+    let f = metrics
+        .counters
+        .histogram("/comms/coalesce_flush_delay")
+        .expect("flush delay histogram in final counters");
+    assert_eq!(f.count(), metrics.port.parcels);
+    assert!(metrics.port.batches > 0, "coalescing produced no batches");
+
+    // The sampled series carry the same invariant into the trace, where
+    // trace_report's --check gate reads them.
+    let series_count = summary
+        .counter_series
+        .get("/comms/parcel_latency")
+        .and_then(|pts| pts.last())
+        .map(|&(_, v)| v)
+        .expect("/comms/parcel_latency series in trace");
+    let series_parcels = summary
+        .counter_series
+        .get("/comms/parcels")
+        .and_then(|pts| pts.last())
+        .map(|&(_, v)| v)
+        .expect("/comms/parcels series in trace");
+    assert_eq!(series_count, series_parcels);
 }
 
 #[test]
